@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the table-regenerating benchmark harnesses.
+///
+/// Times are *virtual* seconds on the simulated Multimax (1 abstract
+/// NS32332 instruction = 1.12 us, the paper's measured rate); see
+/// DESIGN.md. Absolute numbers therefore share units with the paper's
+/// tables, but the shape (ratios, crossovers) is the claim under test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_BENCH_BENCHUTIL_H
+#define MULT_BENCH_BENCHUTIL_H
+
+#include "core/Engine.h"
+#include "runtime/Printer.h"
+#include "support/StrUtil.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace multbench {
+
+using namespace mult;
+
+/// Builds a machine configuration for one benchmark run.
+inline EngineConfig machine(unsigned Procs,
+                            std::optional<unsigned> InlineT = std::nullopt,
+                            bool Lazy = false) {
+  EngineConfig C;
+  C.NumProcessors = Procs;
+  C.InlineThreshold = InlineT;
+  C.LazyFutures = Lazy;
+  C.HeapWords = size_t(1) << 23;
+  return C;
+}
+
+/// Evaluates \p Setup (library code), then times \p Expr. Exits loudly on
+/// any error: a benchmark that silently fails is worse than a crash.
+inline double runVirtualSeconds(Engine &E, const std::string &Setup,
+                                const std::string &Expr,
+                                std::string *ResultOut = nullptr) {
+  if (!Setup.empty()) {
+    EvalResult S = E.eval(Setup);
+    if (!S.ok()) {
+      std::fprintf(stderr, "bench setup failed: %s\n", S.Error.c_str());
+      std::exit(1);
+    }
+  }
+  E.resetStats();
+  EvalResult R = E.eval(Expr);
+  if (!R.ok()) {
+    std::fprintf(stderr, "bench run failed: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  if (ResultOut)
+    *ResultOut = valueToString(R.Val);
+  return E.stats().elapsedSeconds();
+}
+
+/// Header/rule printing for the ASCII tables.
+inline void printRule(unsigned Width = 72) {
+  for (unsigned I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void printTitle(const char *Title) {
+  std::printf("\n%s\n", Title);
+  printRule();
+}
+
+} // namespace multbench
+
+#endif // MULT_BENCH_BENCHUTIL_H

@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation for the inlining threshold T of paper section 3: Boyer and
+/// mergesort across T in {0, 1, 2, 4, 8, inf} on 1 and 8 processors,
+/// reporting time and futures created. The paper's headline data points:
+/// mergesort's futures drop from 8191 to ~350 on 8 processors at T = 1
+/// (here scaled: 2047 -> a few hundred), and T = 1 removes most of
+/// Boyer's one-processor future overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "programs/BoyerProgram.h"
+#include "programs/MergesortProgram.h"
+
+using namespace multbench;
+
+namespace {
+
+struct Cell {
+  double Seconds;
+  uint64_t Futures;
+  uint64_t Inlined;
+};
+
+Cell run(const std::string &Setup, const std::string &Expr, unsigned Procs,
+         std::optional<unsigned> T) {
+  Engine E(machine(Procs, T));
+  Cell C;
+  C.Seconds = runVirtualSeconds(E, Setup, Expr);
+  C.Futures = E.stats().FuturesCreated;
+  C.Inlined = E.stats().TasksInlined;
+  return C;
+}
+
+void sweep(const char *Name, const std::string &Setup,
+           const std::string &Expr, unsigned Procs) {
+  std::printf("\n  %s on %u processor(s):\n", Name, Procs);
+  std::printf("    %-6s %10s %10s %10s\n", "T", "time", "futures",
+              "inlined");
+  static const std::optional<unsigned> Ts[] = {0u, 1u, 2u, 4u, 8u,
+                                               std::nullopt};
+  for (std::optional<unsigned> T : Ts) {
+    Cell C = run(Setup, Expr, Procs, T);
+    std::printf("    %-6s %10s %10llu %10llu\n",
+                T ? std::to_string(*T).c_str() : "inf",
+                formatSeconds(C.Seconds).c_str(),
+                static_cast<unsigned long long>(C.Futures),
+                static_cast<unsigned long long>(C.Inlined));
+  }
+}
+
+} // namespace
+
+int main() {
+  printTitle("Inlining-threshold ablation (paper section 3)");
+
+  std::string BoyerSetup = std::string(BoyerCommonSource) + BoyerParallelArgs;
+  sweep("parallel Boyer", BoyerSetup, "(boyer-test 1)", 1);
+  sweep("parallel Boyer", BoyerSetup, "(boyer-test 1)", 8);
+  sweep("mergesort 2048", MergesortSource, "(mergesort-test 2048)", 1);
+  sweep("mergesort 2048", MergesortSource, "(mergesort-test 2048)", 8);
+
+  printRule();
+  std::printf("  paper: mergesort futures drop from 8191 (T=inf) to ~350 "
+              "on 8 processors at T=1;\n"
+              "  T=0 risks starvation/deadlock, T=1 buffers one task "
+              "(section 3's recommendation).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates paper Table 1: the cost of Mul-T future operations, in
+/// NS32332 instructions, step by step for `(touch (future 0))`; plus the
+/// surrounding microbenchmark claims of section 4 (196-instruction total,
+/// ~220 us at ~1 MIPS, 25:1 ratio against a trivial call, ~119
+/// instructions when nothing blocks).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace multbench;
+
+namespace {
+
+/// Runs `(touch (future 0))` once on one processor and returns the step
+/// breakdown.
+FutureStepStats measureSteps() {
+  Engine E(machine(1));
+  E.resetStats();
+  EvalResult R = E.eval("(touch (future 0))");
+  if (!R.ok()) {
+    std::fprintf(stderr, "failed: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return E.stats().Steps;
+}
+
+/// Cost of calling and returning from (lambda () 0), by loop differencing.
+uint64_t measureTrivialCall() {
+  Engine E(machine(1));
+  EvalResult D = E.eval("(define (trivial) 0)");
+  (void)D;
+  auto Loop = [&](const char *Body) {
+    E.resetStats();
+    EvalResult R = E.eval(Body);
+    if (!R.ok())
+      std::exit(1);
+    return E.stats().ElapsedCycles;
+  };
+  uint64_t With = Loop("(let loop ((i 0)) (if (= i 10000) 'done "
+                       "(begin (trivial) (loop (+ i 1)))))");
+  uint64_t Without =
+      Loop("(let loop ((i 0)) (if (= i 10000) 'done "
+           "(begin 0 (loop (+ i 1)))))");
+  return (With - Without) / 10000;
+}
+
+/// The no-blocking variant: the child resolves before the parent touches.
+uint64_t measureNonBlocking() {
+  Engine E(machine(2));
+  E.resetStats();
+  EvalResult R = E.eval(
+      "(let ((f (future 0)))"
+      "  (let spin ((i 0)) (if (< i 2000) (spin (+ i 1)) #t))"
+      "  (touch f))");
+  if (!R.ok())
+    std::exit(1);
+  return E.stats().Steps.total();
+}
+
+void printRow(const char *Step, uint64_t Measured, const char *Paper) {
+  std::printf("  %-44s %8llu   %s\n", Step,
+              static_cast<unsigned long long>(Measured), Paper);
+}
+
+} // namespace
+
+int main() {
+  printTitle("Table 1: cost of Mul-T future operations "
+             "(NS32332 instructions)");
+  std::printf("  %-44s %8s   %s\n", "step", "measured", "paper");
+  FutureStepStats S = measureSteps();
+  printRow("1. make thunk and call *future", S.MakeThunkCycles, "15");
+  printRow("2. create future and task; enqueue task", S.CreateEnqueueCycles,
+           "41");
+  printRow("3. block touching task", S.BlockCycles, "33");
+  printRow("4. dequeue and start executing a task", S.DispatchNewCycles,
+           "37");
+  printRow("5. resolve future, enqueue waiters (w=1)", S.ResolveCycles,
+           "26 + 14w = 40");
+  printRow("6. dequeue interrupted task and resume", S.DispatchSuspCycles,
+           "30");
+  printRule();
+  printRow("total for (touch (future 0))", S.total(), "~196");
+  std::printf("  %-44s %8.0f   %s\n", "equivalent virtual time (us)",
+              EngineStats::cyclesToSeconds(S.total()) * 1e6, "~220 us");
+
+  printTitle("Section 4 microbenchmarks around Table 1");
+  uint64_t Call = measureTrivialCall();
+  printRow("call + return of (lambda () 0)", Call, "8");
+  std::printf("  %-44s %7.1f:1  %s\n", "(touch (future 0)) vs trivial call",
+              double(S.total()) / double(Call),
+              "~25:1 (Multilisp managed only 3:1)");
+  uint64_t NonBlocking = measureNonBlocking();
+  printRow("future whose touch never blocks", NonBlocking, "~119");
+  return 0;
+}

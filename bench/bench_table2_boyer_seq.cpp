@@ -1,0 +1,92 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates paper Table 2: the cleaned-up *sequential* Boyer benchmark
+/// under three compilers —
+///   T3                (no implicit touches at all),
+///   Mul-T, no opts    (a touch at every strict operand),
+///   Mul-T + opts      (the first-order type analysis removes redundant
+///                      touches).
+/// The paper's row values are 14.5 / 29 / 24 seconds: touch checks double
+/// the time, and the optimizer brings the overhead down to ~65%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "programs/BoyerProgram.h"
+
+using namespace multbench;
+
+namespace {
+
+struct Row {
+  const char *Label;
+  bool Touches;
+  bool Optimize;
+  const char *Paper;
+};
+
+double runBoyer(bool Touches, bool Optimize, int Iterations,
+                const CompileStats **StatsOut, Engine **KeepAlive) {
+  EngineConfig C = machine(1);
+  C.EmitTouchChecks = Touches;
+  C.OptimizeTouches = Optimize;
+  static std::vector<std::unique_ptr<Engine>> Keep;
+  Keep.push_back(std::make_unique<Engine>(C));
+  Engine &E = *Keep.back();
+  std::string Setup = std::string(BoyerCommonSource) + BoyerSequentialArgs;
+  std::string Result;
+  double Secs = runVirtualSeconds(
+      E, Setup, "(boyer-test " + std::to_string(Iterations) + ")", &Result);
+  if (Result != "#t") {
+    std::fprintf(stderr, "boyer failed to prove the theorem: %s\n",
+                 Result.c_str());
+    std::exit(1);
+  }
+  *StatsOut = &E.compileStats();
+  *KeepAlive = &E;
+  return Secs / Iterations;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int Iterations = argc > 1 ? std::atoi(argv[1]) : 1;
+
+  printTitle("Table 2: cleaned-up sequential Boyer benchmark "
+             "(virtual seconds)");
+  static const Row Rows[] = {
+      {"T3 (no touch checks)", false, false, "14.5"},
+      {"Mul-T, no touch optimizations", true, false, "29"},
+      {"Mul-T plus touch optimizations", true, true, "24"},
+  };
+
+  std::printf("  %-34s %9s  %7s   %s\n", "configuration", "measured",
+              "paper", "touch checks emitted/strict positions");
+  double T3Time = 0;
+  for (const Row &R : Rows) {
+    const CompileStats *CS = nullptr;
+    Engine *E = nullptr;
+    double Secs = runBoyer(R.Touches, R.Optimize, Iterations, &CS, &E);
+    if (!R.Touches)
+      T3Time = Secs;
+    std::printf("  %-34s %9s  %7s   %llu/%llu\n", R.Label,
+                formatSeconds(Secs).c_str(), R.Paper,
+                static_cast<unsigned long long>(CS->TouchesEmitted),
+                static_cast<unsigned long long>(CS->StrictPositions));
+  }
+
+  printRule();
+  const CompileStats *CS = nullptr;
+  Engine *E = nullptr;
+  double NoOpt = runBoyer(true, false, Iterations, &CS, &E);
+  double Opt = runBoyer(true, true, Iterations, &CS, &E);
+  std::printf("  touch overhead without optimization: %4.0f%%   (paper: "
+              "~100%%)\n",
+              (NoOpt / T3Time - 1.0) * 100.0);
+  std::printf("  touch overhead with optimization:    %4.0f%%   (paper: "
+              " ~65%%)\n",
+              (Opt / T3Time - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,216 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Boyer theorem-prover benchmark (Gabriel suite), in the cleaned-up
+/// form the paper uses (section 4): the original's global `unify-subst`
+/// side effect is removed by threading the substitution, so wrapping
+/// subexpressions in `future` is safe. The lemma database is the subset of
+/// the standard rule set exercised by the benchmark theorem; the theorem
+/// itself is Gabriel's: a propositional tautology over substituted
+/// arithmetic/list terms, so `tautp` must return #t.
+///
+/// Two variants: BoyerSequentialSource defines (boyer-test n) with no
+/// futures; BoyerParallelSource additionally futurizes rewrite-args, the
+/// natural "wrap future around selected subexpressions" parallelization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_BENCH_PROGRAMS_BOYERPROGRAM_H
+#define MULT_BENCH_PROGRAMS_BOYERPROGRAM_H
+
+namespace mult {
+
+/// Shared core: lemma database, unifier, rewriter, tautology checker.
+/// rewrite-args is defined per-variant after this.
+inline constexpr const char BoyerCommonSource[] = R"lisp(
+(define (add-lemma term)
+  ;; term = (equal (fn args...) rhs): index under fn.
+  (put (car (cadr term)) 'lemmas
+       (cons term (let ((l (get (car (cadr term)) 'lemmas)))
+                    (if (null? l) '() l)))))
+
+(define (add-lemma-lst lst)
+  (if (null? lst)
+      #t
+      (begin (add-lemma (car lst)) (add-lemma-lst (cdr lst)))))
+
+(define (boyer-setup)
+  (add-lemma-lst
+   '((equal (and p q) (if p (if q (t) (f)) (f)))
+     (equal (or p q) (if p (t) (if q (t) (f))))
+     (equal (not p) (if p (f) (t)))
+     (equal (implies p q) (if p (if q (t) (f)) (t)))
+     ;; The crucial normalizer: distributes if over if so every test the
+     ;; tautology checker splits on is a leaf term.
+     (equal (if (if a b c) d e) (if a (if b d e) (if c d e)))
+     (equal (plus (plus x y) z) (plus x (plus y z)))
+     (equal (equal (plus a b) (zero)) (and (zerop a) (zerop b)))
+     (equal (difference x x) (zero))
+     (equal (equal (plus a b) (plus a c)) (equal b c))
+     (equal (equal (zero) (difference x y)) (not (lessp y x)))
+     (equal (equal x (difference x y))
+            (and (numberp x) (or (equal x (zero)) (zerop y))))
+     (equal (times x (plus y z)) (plus (times x y) (times x z)))
+     (equal (times (times x y) z) (times x (times y z)))
+     (equal (equal (times x y) (zero)) (or (zerop x) (zerop y)))
+     (equal (append (append x y) z) (append x (append y z)))
+     (equal (reverse (append a b)) (append (reverse b) (reverse a)))
+     (equal (times x (difference c w))
+            (difference (times c x) (times w x)))
+     (equal (remainder x x) (zero))
+     (equal (lessp (remainder x y) y) (if (zerop y) (f) (t)))
+     (equal (lessp (plus x y) (plus x z)) (lessp y z))
+     (equal (lessp (times x z) (times y z))
+            (and (not (zerop z)) (lessp x y)))
+     (equal (lessp y (plus x y)) (not (zerop x)))
+     (equal (length (reverse x)) (length x))
+     (equal (member a (append b c)) (or (member a b) (member a c))))))
+
+;; The list/equality library compiled as Mul-T code, as it would be in
+;; the real system's user library (so its implicit touches are subject to
+;; compilation mode, exactly like the paper's measurements).
+(define (boyer-equal? a b)
+  (if (eq? a b)
+      #t
+      (if (pair? a)
+          (if (pair? b)
+              (if (boyer-equal? (car a) (car b))
+                  (boyer-equal? (cdr a) (cdr b))
+                  #f)
+              #f)
+          #f)))
+
+(define (boyer-assq k l)
+  (if (null? l)
+      #f
+      (if (eq? (car (car l)) k)
+          (car l)
+          (boyer-assq k (cdr l)))))
+
+(define (boyer-member x l)
+  (if (null? l)
+      #f
+      (if (boyer-equal? x (car l))
+          l
+          (boyer-member x (cdr l)))))
+
+(define (apply-subst alist term)
+  (if (atom? term)
+      (let ((temp (boyer-assq term alist)))
+        (if temp (cdr temp) term))
+      (cons (car term) (apply-subst-lst alist (cdr term)))))
+
+(define (apply-subst-lst alist lst)
+  (if (null? lst)
+      '()
+      (cons (apply-subst alist (car lst))
+            (apply-subst-lst alist (cdr lst)))))
+
+(define (falsep x lst)
+  (if (boyer-equal? x '(f)) #t (if (boyer-member x lst) #t #f)))
+(define (truep x lst)
+  (if (boyer-equal? x '(t)) #t (if (boyer-member x lst) #t #f)))
+
+;; Cleaned-up unifier: the substitution is threaded, not a global
+;; (paper section 4: "removing some global side effects").
+;; Returns a pair (subst) on success -- including the empty-but-truthy
+;; marker (ok) -- or #f on failure.
+(define (one-way-unify term1 term2)
+  (one-way-unify1 term1 term2 '((ok . ok))))
+
+(define (one-way-unify1 term1 term2 subst)
+  (if (atom? term2)
+      (let ((temp (boyer-assq term2 subst)))
+        (if temp
+            (if (boyer-equal? term1 (cdr temp)) subst #f)
+            (cons (cons term2 term1) subst)))
+      (if (atom? term1)
+          #f
+          (if (eq? (car term1) (car term2))
+              (one-way-unify1-lst (cdr term1) (cdr term2) subst)
+              #f))))
+
+(define (one-way-unify1-lst lst1 lst2 subst)
+  (cond ((null? lst1) (if (null? lst2) subst #f))
+        ((null? lst2) #f)
+        (else
+         (let ((s (one-way-unify1 (car lst1) (car lst2) subst)))
+           (if s (one-way-unify1-lst (cdr lst1) (cdr lst2) s) #f)))))
+
+(define (rewrite term)
+  (if (atom? term)
+      term
+      (rewrite-with-lemmas (cons (car term) (rewrite-args (cdr term)))
+                           (get (car term) 'lemmas))))
+
+(define (rewrite-with-lemmas term lst)
+  (if (null? lst)
+      term
+      (let ((subst (one-way-unify term (cadr (car lst)))))
+        (if subst
+            (rewrite (apply-subst subst (caddr (car lst))))
+            (rewrite-with-lemmas term (cdr lst))))))
+
+(define (tautologyp x true-lst false-lst)
+  (cond ((truep x true-lst) #t)
+        ((falsep x false-lst) #f)
+        ((atom? x) #f)
+        ((eq? (car x) 'if)
+         (cond ((truep (cadr x) true-lst)
+                (tautologyp (caddr x) true-lst false-lst))
+               ((falsep (cadr x) false-lst)
+                (tautologyp (cadddr x) true-lst false-lst))
+               (else
+                (if (tautologyp (caddr x) (cons (cadr x) true-lst) false-lst)
+                    (tautologyp (cadddr x) true-lst (cons (cadr x) false-lst))
+                    #f))))
+        (else #f)))
+
+(define (tautp x) (tautologyp (rewrite x) '() '()))
+
+(define boyer-statement
+  '(implies (and (implies x y)
+                 (and (implies y z)
+                      (and (implies z u) (implies u w))))
+            (implies x w)))
+
+(define boyer-subst
+  '((x f (plus (plus a b) (plus c (zero))))
+    (y f (times (times a b) (plus c d)))
+    (z f (reverse (append (append a b) (nil))))
+    (u equal (plus a b) (difference x y))
+    (w lessp (remainder a b) (member a (length b)))))
+
+;; Runs the proof n times; #t iff every round proves the theorem.
+(define (boyer-test n)
+  (boyer-setup)
+  (let loop ((i 0) (ok #t))
+    (if (= i n)
+        ok
+        (loop (+ i 1)
+              (if (tautp (apply-subst boyer-subst boyer-statement))
+                  ok
+                  #f)))))
+)lisp";
+
+/// Sequential rewrite-args (the Table 2 program).
+inline constexpr const char BoyerSequentialArgs[] = R"lisp(
+(define (rewrite-args lst)
+  (if (null? lst)
+      '()
+      (cons (rewrite (car lst)) (rewrite-args (cdr lst)))))
+)lisp";
+
+/// Parallel rewrite-args: one future per argument rewrite (the Table 3
+/// program). cons is non-strict, so the futures flow into the result term
+/// and are touched by the strict consumers (eq?, atom?, equal?, ...).
+inline constexpr const char BoyerParallelArgs[] = R"lisp(
+(define (rewrite-args lst)
+  (if (null? lst)
+      '()
+      (cons (future (rewrite (car lst))) (rewrite-args (cdr lst)))))
+)lisp";
+
+} // namespace mult
+
+#endif // MULT_BENCH_PROGRAMS_BOYERPROGRAM_H

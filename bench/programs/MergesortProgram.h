@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Destructive merge sort on a list of integers (paper section 4: 8192
+/// elements). The divide-and-conquer recursion sorts both halves in
+/// parallel; the execution pattern is input-independent, which is what
+/// makes the paper's analytical model
+///   t(k,l) = O[(k-l-2)·2^(k-l-1) + 2^k]
+/// (2^l processors, n = 2^k elements) applicable. Inlining is crucial
+/// here: it reduces the futures created from n-1 to a few hundred.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_BENCH_PROGRAMS_MERGESORTPROGRAM_H
+#define MULT_BENCH_PROGRAMS_MERGESORTPROGRAM_H
+
+namespace mult {
+
+inline constexpr const char MergesortSource[] = R"lisp(
+;; Destructive merge of two sorted lists.
+(define (merge! a b)
+  (cond ((null? a) b)
+        ((null? b) a)
+        ((< (car a) (car b))
+         (set-cdr! a (merge! (cdr a) b))
+         a)
+        (else
+         (set-cdr! b (merge! a (cdr b)))
+         b)))
+
+;; Severs l after its first n elements; returns the tail.
+(define (split-after! l n)
+  (if (= n 1)
+      (let ((tail (cdr l)))
+        (set-cdr! l '())
+        tail)
+      (split-after! (cdr l) (- n 1))))
+
+;; Sorts the n-element list l in place; returns the new head.
+(define (sort! l n)
+  (if (< n 2)
+      l
+      (let ((half (quotient n 2)))
+        (let ((right (split-after! l half)))
+          (let ((a (future (sort! l half))))
+            (let ((b (sort! right (- n half))))
+              (merge! (touch a) b)))))))
+
+;; Deterministic worst-ish-case input: a pseudo-random list of n fixnums.
+(define (mergesort-input n seed)
+  (let loop ((i 0) (x seed) (acc '()))
+    (if (= i n)
+        acc
+        (let ((next (remainder (+ (* x 75) 74) 65537)))
+          (loop (+ i 1) next (cons next acc))))))
+
+(define (sorted? l)
+  (cond ((null? l) #t)
+        ((null? (cdr l)) #t)
+        ((< (cadr l) (car l)) #f)
+        (else (sorted? (cdr l)))))
+
+;; Sorts n pseudo-random integers; returns #t iff the result is sorted
+;; and has the right length.
+(define (mergesort-test n)
+  (let ((sorted (sort! (mergesort-input n 1) n)))
+    (if (sorted? sorted)
+        (= (length sorted) n)
+        #f)))
+)lisp";
+
+} // namespace mult
+
+#endif // MULT_BENCH_PROGRAMS_MERGESORTPROGRAM_H

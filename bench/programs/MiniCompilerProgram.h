@@ -1,0 +1,267 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "compiler" benchmark: a transformation-based compiler written in
+/// Mul-T, standing in for Kelsey's 20 kloc transformation-based compiler
+/// compiling a 21-procedure Pascal program (paper section 4; see DESIGN.md
+/// substitutions). The task topology matches the paper's description:
+///
+///   - a sequential parse phase over the whole program,
+///   - a compilation phase with one task per procedure (uneven sizes),
+///   - an assembler that only one task at a time may use (a semaphore),
+///   - a sequential output phase.
+///
+/// Those four properties are exactly the speedup limiters the paper lists,
+/// so the scaling shape carries over.
+///
+/// Source language: (procedure <name> (<params>) <expr>) where <expr> is
+/// fixnums, variables, (+ - * a b), (if c t e), (let v e body),
+/// (call f args...). Compilation: alpha-rename -> constant-fold ->
+/// linearize to three-address code -> peephole -> assemble.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_BENCH_PROGRAMS_MINICOMPILERPROGRAM_H
+#define MULT_BENCH_PROGRAMS_MINICOMPILERPROGRAM_H
+
+namespace mult {
+
+inline constexpr const char MiniCompilerSource[] = R"lisp(
+;; ---------------------------------------------------------------- parse
+;; Surface -> tagged AST. Sequential phase over the whole program.
+(define (mc-parse-expr e params)
+  (cond ((number? e) (list 'const e))
+        ((symbol? e)
+         (if (memq e params)
+             (list 'var e)
+             (error "mc-parse: unbound variable" e)))
+        ((memq (car e) '(+ - *))
+         (list 'prim (car e)
+               (mc-parse-expr (cadr e) params)
+               (mc-parse-expr (caddr e) params)))
+        ((eq? (car e) 'if)
+         (list 'if (mc-parse-expr (cadr e) params)
+               (mc-parse-expr (caddr e) params)
+               (mc-parse-expr (cadddr e) params)))
+        ((eq? (car e) 'let)
+         (list 'let (cadr e)
+               (mc-parse-expr (caddr e) params)
+               (mc-parse-expr (cadddr e) (cons (cadr e) params))))
+        ((eq? (car e) 'call)
+         (cons 'call (cons (cadr e) (mc-parse-args (cddr e) params))))
+        (else (error "mc-parse: bad expression" e))))
+
+(define (mc-parse-args es params)
+  (if (null? es)
+      '()
+      (cons (mc-parse-expr (car es) params)
+            (mc-parse-args (cdr es) params))))
+
+(define (mc-parse prog)
+  (map (lambda (p)
+         (list (cadr p) (caddr p)
+               (mc-parse-expr (cadddr p) (caddr p))))
+       prog))
+
+;; --------------------------------------------------- pass 1: alpha-rename
+;; Rename variables to numbered registers (var . k); threads a counter.
+;; Returns (renamed-expr . counter).
+(define (mc-alpha e env k)
+  (case (car e)
+    ((const) (cons e k))
+    ((var)
+     (cons (list 'var (cdr (assq (cadr e) env))) k))
+    ((prim)
+     (let ((a (mc-alpha (caddr e) env k)))
+       (let ((b (mc-alpha (cadddr e) env (cdr a))))
+         (cons (list 'prim (cadr e) (car a) (car b)) (cdr b)))))
+    ((if)
+     (let ((c (mc-alpha (cadr e) env k)))
+       (let ((t (mc-alpha (caddr e) env (cdr c))))
+         (let ((f (mc-alpha (cadddr e) env (cdr t))))
+           (cons (list 'if (car c) (car t) (car f)) (cdr f))))))
+    ((let)
+     (let ((init (mc-alpha (caddr e) env k)))
+       (let ((body (mc-alpha (cadddr e)
+                             (cons (cons (cadr e) (cdr init)) env)
+                             (+ (cdr init) 1))))
+         (cons (list 'let (cdr init) (car init) (car body)) (cdr body)))))
+    ((call)
+     (let loop ((args (cddr e)) (k k) (acc '()))
+       (if (null? args)
+           (cons (cons 'call (cons (cadr e) (reverse acc))) k)
+           (let ((a (mc-alpha (car args) env k)))
+             (loop (cdr args) (cdr a) (cons (car a) acc))))))
+    (else (error "mc-alpha: bad node" e))))
+
+(define (mc-alpha-proc name params body)
+  (let loop ((ps params) (env '()) (k 0))
+    (if (null? ps)
+        (car (mc-alpha body env k))
+        (loop (cdr ps) (cons (cons (car ps) k) env) (+ k 1)))))
+
+;; -------------------------------------------------- pass 2: constant fold
+(define (mc-fold e)
+  (case (car e)
+    ((const var) e)
+    ((prim)
+     (let ((a (mc-fold (caddr e)))
+           (b (mc-fold (cadddr e))))
+       (if (if (eq? (car a) 'const) (eq? (car b) 'const) #f)
+           (list 'const
+                 (case (cadr e)
+                   ((+) (+ (cadr a) (cadr b)))
+                   ((-) (- (cadr a) (cadr b)))
+                   ((*) (* (cadr a) (cadr b)))))
+           (list 'prim (cadr e) a b))))
+    ((if)
+     (let ((c (mc-fold (cadr e))))
+       (if (eq? (car c) 'const)
+           (if (= (cadr c) 0)
+               (mc-fold (cadddr e))
+               (mc-fold (caddr e)))
+           (list 'if c (mc-fold (caddr e)) (mc-fold (cadddr e))))))
+    ((let)
+     (list 'let (cadr e) (mc-fold (caddr e)) (mc-fold (cadddr e))))
+    ((call)
+     (cons 'call (cons (cadr e) (map mc-fold (cddr e)))))
+    (else (error "mc-fold: bad node" e))))
+
+;; ------------------------------------------- pass 3: linearize to 3-address
+;; Produces (instrs dest . next-reg), instrs reversed.
+(define (mc-lin e reg instrs)
+  (case (car e)
+    ((const)
+     (cons (cons (list 'ldi reg (cadr e)) instrs) (cons reg (+ reg 1))))
+    ((var)
+     (cons (cons (list 'mov reg (cadr e)) instrs) (cons reg (+ reg 1))))
+    ((prim)
+     (let ((a (mc-lin (caddr e) reg instrs)))
+       (let ((b (mc-lin (cadddr e) (cdr (cdr a)) (car a))))
+         (let ((dest (cdr (cdr b))))
+           (cons (cons (list (cadr e) dest (car (cdr a)) (car (cdr b)))
+                       (car b))
+                 (cons dest (+ dest 1)))))))
+    ((if)
+     (let ((c (mc-lin (cadr e) reg instrs)))
+       (let ((t (mc-lin (caddr e) (cdr (cdr c)) (car c))))
+         (let ((f (mc-lin (cadddr e) (cdr (cdr t)) (car t))))
+           (let ((dest (cdr (cdr f))))
+             (cons (cons (list 'sel dest (car (cdr c)) (car (cdr t))
+                               (car (cdr f)))
+                         (car f))
+                   (cons dest (+ dest 1))))))))
+    ((let)
+     ;; let registers were assigned during alpha; move the init value in.
+     (let ((init (mc-lin (caddr e) reg instrs)))
+       (let ((body (mc-lin (cadddr e) (cdr (cdr init))
+                           (cons (list 'mov (cadr e) (car (cdr init)))
+                                 (car init)))))
+         body)))
+    ((call)
+     (let loop ((args (cddr e)) (reg reg) (instrs instrs) (vals '()))
+       (if (null? args)
+           (cons (cons (cons 'callf (cons (cadr e) (reverse vals))) instrs)
+                 (cons reg (+ reg 1)))
+           (let ((a (mc-lin (car args) reg instrs)))
+             (loop (cdr args) (cdr (cdr a)) (car a)
+                   (cons (car (cdr a)) vals))))))
+    (else (error "mc-lin: bad node" e))))
+
+;; ------------------------------------------------------ pass 4: peephole
+(define (mc-peephole instrs)
+  (filter (lambda (i)
+            (not (if (eq? (car i) 'mov) (= (cadr i) (caddr i)) #f)))
+          instrs))
+
+;; ------------------------------------------------------------- assembler
+;; The shared assembler: only one task at a time (paper!). "Assembling"
+;; computes a checksum and the code size.
+(define mc-asm-lock (make-semaphore 1))
+(define mc-asm-count 0)
+(define mc-asm-checksum 0)
+
+(define (mc-assemble name instrs)
+  (semaphore-p mc-asm-lock)
+  (let loop ((is instrs) (n 0) (sum 0))
+    (if (null? is)
+        (begin
+          (set! mc-asm-count (+ mc-asm-count n))
+          (set! mc-asm-checksum
+                (remainder (+ mc-asm-checksum sum) 1000000007))
+          (semaphore-v mc-asm-lock)
+          n)
+        (loop (cdr is) (+ n 1)
+              (remainder (+ (* sum 31) (length (car is))) 1000000007)))))
+
+;; ------------------------------------------------------ whole procedures
+(define (mc-compile-proc p)
+  (let ((name (car p)) (params (cadr p)) (body (caddr p)))
+    (let ((renamed (mc-alpha-proc name params body)))
+      (let ((folded (mc-fold renamed)))
+        (let ((lin (mc-lin folded 100 '())))
+          (mc-assemble name (mc-peephole (reverse (car lin)))))))))
+
+;; Parallel driver: sequential parse, one task per procedure, sequential
+;; output (summing the per-procedure instruction counts).
+(define (mc-compile-program prog parallel?)
+  (set! mc-asm-count 0)
+  (set! mc-asm-checksum 0)
+  (let ((parsed (mc-parse prog)))
+    (let ((results (if parallel?
+                       (map (lambda (p) (future (mc-compile-proc p)))
+                            parsed)
+                       (map mc-compile-proc parsed))))
+      ;; Output phase: touch everything, in order.
+      (let loop ((rs results) (total 0))
+        (if (null? rs)
+            (list total mc-asm-count mc-asm-checksum)
+            (loop (cdr rs) (+ total (touch (car rs)))))))))
+
+;; ------------------------------------------------- program generator
+;; Builds a synthetic program of `n` procedures with pseudo-random bodies
+;; of uneven depth (the paper: "uneven loads due to the small number of
+;; tasks"). Procedure i may call procedures 0..i-1.
+(define (mc-gen-expr depth params nprocs-before)
+  (if (= depth 0)
+      (if (if (null? params) #t (= (random 3) 0))
+          (random 100)
+          (list-ref params (random (length params))))
+      (let ((kind (random (if (> nprocs-before 0) 10 9))))
+        (cond ((< kind 4)
+               (list (list-ref '(+ - * +) (random 4))
+                     (mc-gen-expr (- depth 1) params nprocs-before)
+                     (mc-gen-expr (- depth 1) params nprocs-before)))
+              ((< kind 6)
+               (list 'if (mc-gen-expr (- depth 1) params nprocs-before)
+                     (mc-gen-expr (- depth 1) params nprocs-before)
+                     (mc-gen-expr (- depth 1) params nprocs-before)))
+              ((< kind 9)
+               (list 'let 'tmp
+                     (mc-gen-expr (- depth 1) params nprocs-before)
+                     (mc-gen-expr (- depth 1) (cons 'tmp params)
+                                  nprocs-before)))
+              (else
+               (list 'call
+                     (string->symbol
+                      (string-append "p" (number->string
+                                          (random nprocs-before))))
+                     (mc-gen-expr (- depth 1) params nprocs-before)))))))
+
+(define (mc-gen-program n base-depth)
+  (let loop ((i 0) (acc '()))
+    (if (= i n)
+        (reverse acc)
+        (loop (+ i 1)
+              (cons (list 'procedure
+                          (string->symbol
+                           (string-append "p" (number->string i)))
+                          '(a b c)
+                          (mc-gen-expr (+ base-depth (random 4))
+                                       '(a b c) i))
+                    acc)))))
+)lisp";
+
+} // namespace mult
+
+#endif // MULT_BENCH_PROGRAMS_MINICOMPILERPROGRAM_H

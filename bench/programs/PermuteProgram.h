@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The permute benchmark (paper section 4, after Thaker/Bradley/Nussbaum):
+/// build a set of `target` vectors of `len` integers in [0,32) such that
+/// any two accepted vectors differ in at least `dmin` positions.
+///
+/// Parallel structure follows the paper: the comparison of one candidate
+/// against the accepted set is split into tasks of `chunk` vectors each,
+/// and up to `batch` (the paper used 16) candidates are tested
+/// simultaneously. Candidates come from the engine's deterministic PRNG
+/// rather than the original's permutation generator (see DESIGN.md
+/// substitutions); what matters for the speedup shape is the compare
+/// workload, which is identical. Run with T = infinity, as the paper did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_BENCH_PROGRAMS_PERMUTEPROGRAM_H
+#define MULT_BENCH_PROGRAMS_PERMUTEPROGRAM_H
+
+namespace mult {
+
+inline constexpr const char PermuteSource[] = R"lisp(
+(define (permute-random-vec len)
+  (let ((v (make-vector len 0)))
+    (do ((i 0 (+ i 1)))
+        ((= i len) v)
+      (vector-set! v i (random 32)))))
+
+(define (permute-distance v w len)
+  (let loop ((i 0) (d 0))
+    (if (= i len)
+        d
+        (loop (+ i 1)
+              (if (= (vector-ref v i) (vector-ref w i)) d (+ d 1))))))
+
+(define (permute-take l n)
+  (if (if (null? l) #t (= n 0))
+      '()
+      (cons (car l) (permute-take (cdr l) (- n 1)))))
+
+(define (permute-drop l n)
+  (if (if (null? l) #t (= n 0))
+      l
+      (permute-drop (cdr l) (- n 1))))
+
+;; One comparison task: candidate vs one chunk of accepted vectors.
+(define (permute-check-chunk cand chunk len dmin)
+  (cond ((null? chunk) #t)
+        ((< (permute-distance cand (car chunk) len) dmin) #f)
+        (else (permute-check-chunk cand (cdr chunk) len dmin))))
+
+;; Compare cand against the whole accepted set, one future per chunk.
+(define (permute-check cand accepted len dmin chunk)
+  (let spawn ((rest accepted) (futs '()))
+    (if (null? rest)
+        (let all ((fs futs) (ok #t))
+          (if (null? fs)
+              ok
+              (all (cdr fs) (if (touch (car fs)) ok #f))))
+        (spawn (permute-drop rest chunk)
+               (cons (future (permute-check-chunk
+                              cand (permute-take rest chunk) len dmin))
+                     futs)))))
+
+(define (permute-gen-batch n len)
+  (if (= n 0)
+      '()
+      (cons (permute-random-vec len) (permute-gen-batch (- n 1) len))))
+
+;; Accumulates `target` mutually distant vectors; returns the number of
+;; candidates tested. `batch` candidates are in flight at once.
+(define (permute-run target len dmin chunk batch)
+  (let loop ((accepted '()) (count 0) (tested 0))
+    (if (>= count target)
+        tested
+        (let ((cands (permute-gen-batch batch len)))
+          (let ((futs (map (lambda (c)
+                             (future (if (permute-check c accepted len
+                                                        dmin chunk)
+                                         c
+                                         #f)))
+                           cands)))
+            (let accept ((fs futs) (acc accepted) (cnt count))
+              (if (null? fs)
+                  (loop acc cnt (+ tested batch))
+                  (let ((r (touch (car fs))))
+                    (if (if r (< cnt target) #f)
+                        (accept (cdr fs) (cons r acc) (+ cnt 1))
+                        (accept (cdr fs) acc cnt))))))))))
+)lisp";
+
+} // namespace mult
+
+#endif // MULT_BENCH_PROGRAMS_PERMUTEPROGRAM_H

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// N-queens: counts all solutions (paper section 4 used n = 11). The
+/// parallel version creates one task per legal pair of positions in the
+/// first two rows — up to n^2 large-granularity tasks, so the paper ran it
+/// without inlining.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_BENCH_PROGRAMS_QUEENSPROGRAM_H
+#define MULT_BENCH_PROGRAMS_QUEENSPROGRAM_H
+
+namespace mult {
+
+inline constexpr const char QueensSource[] = R"lisp(
+;; placed is the list of row numbers already chosen, nearest column first.
+(define (queens-safe? row dist placed)
+  (if (null? placed)
+      #t
+      (if (= (car placed) row)
+          #f
+          (if (= (car placed) (+ row dist))
+              #f
+              (if (= (car placed) (- row dist))
+                  #f
+                  (queens-safe? row (+ dist 1) (cdr placed)))))))
+
+;; Number of ways to complete `placed` (k rows already chosen) to a full
+;; n-queens placement.
+(define (queens-solve n k placed)
+  (if (= k n)
+      1
+      (let loop ((row 1) (acc 0))
+        (if (> row n)
+            acc
+            (loop (+ row 1)
+                  (if (queens-safe? row 1 placed)
+                      (+ acc (queens-solve n (+ k 1) (cons row placed)))
+                      acc))))))
+
+(define (queens-seq n) (queens-solve n 0 '()))
+
+;; One future per legal (row1, row2) pair: n^2-ish tasks of large and
+;; uneven granularity.
+(define (queens-par n)
+  (let loop1 ((r1 1) (futs '()))
+    (if (> r1 n)
+        (let sum ((fs futs) (acc 0))
+          (if (null? fs)
+              acc
+              (sum (cdr fs) (+ acc (touch (car fs))))))
+        (let loop2 ((r2 1) (futs futs))
+          (if (> r2 n)
+              (loop1 (+ r1 1) futs)
+              (loop2 (+ r2 1)
+                     (if (queens-safe? r2 1 (list r1))
+                         (cons (future (queens-solve n 2 (list r2 r1)))
+                               futs)
+                         futs)))))))
+)lisp";
+
+} // namespace mult
+
+#endif // MULT_BENCH_PROGRAMS_QUEENSPROGRAM_H

@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interactive Mul-T REPL — the user interface of paper section 2.3.
+///
+/// Try:
+///   mul-t> (define (fib n) (if (< n 2) n (+ (future (fib (- n 1)))
+///                                           (fib (- n 2)))))
+///   mul-t> (fib 20)
+///   mul-t> (car 5)          ; raises: the group stops
+///   mul-t[1]> :bt           ; inspect the stopped task
+///   mul-t[1]> :resume 99    ; the erring (car 5) returns 99
+///   mul-t> :stats
+///
+/// Usage: repl [processors] [inline-threshold|lazy]
+///
+//===----------------------------------------------------------------------===//
+
+#include "ui/Repl.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace mult;
+
+int main(int argc, char **argv) {
+  EngineConfig Cfg;
+  Cfg.NumProcessors = argc > 1 ? unsigned(std::atoi(argv[1])) : 4;
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "lazy") == 0)
+      Cfg.LazyFutures = true;
+    else
+      Cfg.InlineThreshold = unsigned(std::atoi(argv[2]));
+  }
+
+  Engine E(Cfg);
+  FileOutStream &Out = FileOutStream::stdoutStream();
+  Repl R(E, Out);
+
+  Out << "Mul-T on a simulated " << Cfg.NumProcessors
+      << "-processor Multimax";
+  if (Cfg.LazyFutures)
+    Out << " (lazy futures)";
+  else if (Cfg.InlineThreshold)
+    Out << " (inlining T=" << *Cfg.InlineThreshold << ")";
+  Out << ". :help for commands, :exit to leave.\n";
+
+  std::string Line;
+  for (;;) {
+    Out << R.prompt();
+    Out.flush();
+    char Buf[4096];
+    if (!std::fgets(Buf, sizeof(Buf), stdin))
+      break;
+    if (!R.processLine(Buf))
+      break;
+    Out.flush();
+  }
+  Out << "\n";
+  return 0;
+}

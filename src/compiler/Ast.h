@@ -1,0 +1,207 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Core-language AST produced by the analyzer and consumed by the touch
+/// optimizer and the code generator.
+///
+/// Variable references carry a binding id into the Program's binding table;
+/// boxedness (assignment conversion) is a property of the binding, decided
+/// once the whole form has been analyzed. `(future X)` is represented as a
+/// Future node wrapping a nullary Lambda — the thunk of the paper's
+/// `(*future (lambda () X))` transformation — so the ordinary free-variable
+/// capture machinery copies X's free variables into the heap, exactly as
+/// section 2.2.1 describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_COMPILER_AST_H
+#define MULT_COMPILER_AST_H
+
+#include "compiler/PrimTable.h"
+#include "runtime/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mult {
+
+class Object;
+
+enum class AstKind : uint8_t {
+  Const,
+  VarRef,
+  SetVar,
+  If,
+  Begin,
+  Let,
+  Lambda,
+  Call,
+  PrimCall,
+  Future,
+  TouchExpr,
+  Define,
+};
+
+/// Base AST node. Uses LLVM-style kind dispatch (no RTTI).
+struct AstNode {
+  explicit AstNode(AstKind K) : Kind(K) {}
+  virtual ~AstNode();
+
+  const AstKind Kind;
+
+  /// Touch-optimizer annotation: true when this expression's value can
+  /// never be an unresolved future at its use site, so the strict consumer
+  /// may skip the implicit touch (paper section 2.2).
+  bool ResultNonFuture = false;
+};
+
+using AstPtr = std::unique_ptr<AstNode>;
+
+/// LLVM-ish cast helpers.
+template <typename T> T *astCast(AstNode *N) {
+  assert(N && T::classof(N) && "bad AST cast");
+  return static_cast<T *>(N);
+}
+template <typename T> const T *astCast(const AstNode *N) {
+  assert(N && T::classof(N) && "bad AST cast");
+  return static_cast<const T *>(N);
+}
+template <typename T> T *astDynCast(AstNode *N) {
+  return (N && T::classof(N)) ? static_cast<T *>(N) : nullptr;
+}
+
+/// Where a variable lives.
+enum class VarWhere : uint8_t { Local, Free, Global };
+
+struct ConstAst : AstNode {
+  explicit ConstAst(Value V) : AstNode(AstKind::Const), V(V) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::Const; }
+  Value V;
+};
+
+struct VarRefAst : AstNode {
+  VarRefAst(VarWhere W, int Id, Object *Sym)
+      : AstNode(AstKind::VarRef), Where(W), Id(Id), Sym(Sym) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::VarRef; }
+  VarWhere Where;
+  /// Binding id for Local, free-slot index for Free, unused for Global.
+  int Id;
+  Object *Sym; ///< For globals and diagnostics.
+};
+
+struct SetVarAst : AstNode {
+  SetVarAst(VarWhere W, int Id, Object *Sym, AstPtr V)
+      : AstNode(AstKind::SetVar), Where(W), Id(Id), Sym(Sym),
+        Val(std::move(V)) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::SetVar; }
+  VarWhere Where;
+  int Id;
+  Object *Sym;
+  AstPtr Val;
+};
+
+struct IfAst : AstNode {
+  IfAst(AstPtr C, AstPtr T, AstPtr E)
+      : AstNode(AstKind::If), Cond(std::move(C)), Then(std::move(T)),
+        Else(std::move(E)) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::If; }
+  AstPtr Cond, Then, Else;
+};
+
+struct BeginAst : AstNode {
+  explicit BeginAst(std::vector<AstPtr> F)
+      : AstNode(AstKind::Begin), Forms(std::move(F)) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::Begin; }
+  std::vector<AstPtr> Forms;
+};
+
+struct LetAst : AstNode {
+  LetAst() : AstNode(AstKind::Let) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::Let; }
+  std::vector<int> BindingIds;
+  std::vector<AstPtr> Inits;
+  AstPtr Body;
+};
+
+struct LambdaAst : AstNode {
+  LambdaAst() : AstNode(AstKind::Lambda) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::Lambda; }
+
+  /// How the *enclosing* function materializes one captured value at
+  /// closure-creation time.
+  struct Capture {
+    bool FromParentFree; ///< else from a parent local binding
+    int Index;           ///< parent free slot, or parent binding id
+    int OriginBindingId; ///< the binding ultimately captured (for dedup)
+  };
+
+  std::vector<int> ParamIds;
+  AstPtr Body;
+  std::vector<Capture> Captures;
+  std::string Name; ///< For backtraces; "" for anonymous.
+};
+
+struct CallAst : AstNode {
+  CallAst(AstPtr F, std::vector<AstPtr> A)
+      : AstNode(AstKind::Call), Fn(std::move(F)), Args(std::move(A)) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::Call; }
+  AstPtr Fn;
+  std::vector<AstPtr> Args;
+};
+
+struct PrimCallAst : AstNode {
+  PrimCallAst() : AstNode(AstKind::PrimCall) {}
+  static bool classof(const AstNode *N) {
+    return N->Kind == AstKind::PrimCall;
+  }
+  bool IsFast = false;
+  FastOpInfo Fast{};      ///< Valid when IsFast.
+  PrimId Prim{};          ///< Valid when !IsFast.
+  std::vector<AstPtr> Args;
+  std::string Name;
+};
+
+struct FutureAst : AstNode {
+  explicit FutureAst(std::unique_ptr<LambdaAst> T)
+      : AstNode(AstKind::Future), Thunk(std::move(T)) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::Future; }
+  std::unique_ptr<LambdaAst> Thunk;
+};
+
+struct TouchAst : AstNode {
+  explicit TouchAst(AstPtr E)
+      : AstNode(AstKind::TouchExpr), Expr(std::move(E)) {}
+  static bool classof(const AstNode *N) {
+    return N->Kind == AstKind::TouchExpr;
+  }
+  AstPtr Expr;
+};
+
+struct DefineAst : AstNode {
+  DefineAst(Object *Sym, AstPtr V)
+      : AstNode(AstKind::Define), Sym(Sym), Val(std::move(V)) {}
+  static bool classof(const AstNode *N) { return N->Kind == AstKind::Define; }
+  Object *Sym;
+  AstPtr Val;
+};
+
+/// One binding (parameter or let variable).
+struct BindingInfo {
+  Object *Sym = nullptr;
+  bool Assigned = false; ///< Target of set! somewhere -> boxed.
+};
+
+/// A fully analyzed top-level form.
+struct Program {
+  AstPtr Top;
+  std::vector<BindingInfo> Bindings;
+
+  bool bindingBoxed(int Id) const {
+    return Bindings[static_cast<size_t>(Id)].Assigned;
+  }
+};
+
+} // namespace mult
+
+#endif // MULT_COMPILER_AST_H

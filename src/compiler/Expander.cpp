@@ -1,0 +1,583 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expander implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Expander.h"
+
+#include "runtime/Printer.h"
+#include "support/StrUtil.h"
+
+#include <vector>
+
+using namespace mult;
+
+Expander::Result Expander::err(const char *What, Value Form) {
+  return Result::failure(
+      strFormat("expand error: %s in %s", What, valueToString(Form).c_str()));
+}
+
+Value Expander::gensym(const char *Hint) {
+  // '#:' cannot be produced by the reader, so generated names never collide
+  // with user symbols.
+  return B.symbol(strFormat("#:%s%u", Hint, GensymCounter++));
+}
+
+Expander::Result Expander::expand(Value Form) { return expandForm(Form); }
+
+Expander::Result Expander::expandSequence(Value Forms) {
+  std::vector<Value> Out;
+  for (Value P = Forms; !P.isNil(); P = cdrOf(P)) {
+    if (!isPair(P))
+      return err("improper form list", Forms);
+    Result R = expandForm(carOf(P));
+    if (!R.Ok)
+      return R;
+    Out.push_back(R.Datum);
+  }
+  return Result::success(B.listFromVector(Out));
+}
+
+/// Splits leading internal defines off \p Body and rewrites them to a
+/// letrec; returns a single expanded expression.
+Expander::Result Expander::expandBody(Value Body) {
+  if (Body.isNil())
+    return err("empty body", Body);
+
+  std::vector<Value> Defines;
+  Value Rest = Body;
+  while (isPair(Rest) && isPair(carOf(Rest)) &&
+         isSymbolNamed(carOf(carOf(Rest)), "define")) {
+    Defines.push_back(carOf(Rest));
+    Rest = cdrOf(Rest);
+  }
+
+  if (!Defines.empty()) {
+    if (Rest.isNil())
+      return err("body consists only of internal defines", Body);
+    // (define (f . a) b...) -> (define f (lambda a b...)) first, then
+    // letrec over all of them.
+    std::vector<Value> Bindings;
+    for (Value D : Defines) {
+      Value Tail = cdrOf(D);
+      if (!isPair(Tail))
+        return err("malformed internal define", D);
+      Value NameOrSig = carOf(Tail);
+      if (isPair(NameOrSig)) {
+        Value Name = carOf(NameOrSig);
+        Value Params = cdrOf(NameOrSig);
+        Value LambdaForm =
+            B.cons(sym("lambda"), B.cons(Params, cdrOf(Tail)));
+        Bindings.push_back(list2(Name, LambdaForm));
+      } else {
+        if (!isSymbol(NameOrSig) || !isPair(cdrOf(Tail)))
+          return err("malformed internal define", D);
+        Bindings.push_back(list2(NameOrSig, carOf(cdrOf(Tail))));
+      }
+    }
+    Value Letrec =
+        B.cons(sym("letrec"), B.cons(B.listFromVector(Bindings), Rest));
+    return expandForm(Letrec);
+  }
+
+  // No internal defines: (begin body...) or the single expression.
+  if (cdrOf(Body).isNil())
+    return expandForm(carOf(Body));
+  Result Seq = expandSequence(Body);
+  if (!Seq.Ok)
+    return Seq;
+  return Result::success(B.cons(sym("begin"), Seq.Datum));
+}
+
+Expander::Result Expander::expandForm(Value Form) {
+  // Atoms self-expand.
+  if (!isPair(Form))
+    return Result::success(Form);
+
+  Value Head = carOf(Form);
+  if (isSymbol(Head)) {
+    std::string_view Name = Head.asObject()->symbolText();
+    if (Name == "quote")
+      return Result::success(Form);
+    if (Name == "if") {
+      int64_t N = listLength(Form);
+      if (N != 3 && N != 4)
+        return err("if takes 2 or 3 subforms", Form);
+      Result C = expandForm(carOf(cdrOf(Form)));
+      if (!C.Ok)
+        return C;
+      Result T = expandForm(carOf(cdrOf(cdrOf(Form))));
+      if (!T.Ok)
+        return T;
+      if (N == 3)
+        return Result::success(B.cons(sym("if"), list2(C.Datum, T.Datum)));
+      Result E = expandForm(carOf(cdrOf(cdrOf(cdrOf(Form)))));
+      if (!E.Ok)
+        return E;
+      return Result::success(
+          B.cons(sym("if"), B.cons(C.Datum, list2(T.Datum, E.Datum))));
+    }
+    if (Name == "set!") {
+      if (listLength(Form) != 3 || !isSymbol(carOf(cdrOf(Form))))
+        return err("malformed set!", Form);
+      Result V = expandForm(carOf(cdrOf(cdrOf(Form))));
+      if (!V.Ok)
+        return V;
+      return Result::success(
+          B.cons(sym("set!"), list2(carOf(cdrOf(Form)), V.Datum)));
+    }
+    if (Name == "define")
+      return expandDefine(Form);
+    if (Name == "lambda")
+      return expandLambda(Form);
+    if (Name == "begin") {
+      if (cdrOf(Form).isNil())
+        return err("empty begin", Form);
+      Result Seq = expandSequence(cdrOf(Form));
+      if (!Seq.Ok)
+        return Seq;
+      return Result::success(B.cons(sym("begin"), Seq.Datum));
+    }
+    if (Name == "future" || Name == "touch") {
+      if (listLength(Form) != 2)
+        return err("future/touch take one subform", Form);
+      Result E = expandForm(carOf(cdrOf(Form)));
+      if (!E.Ok)
+        return E;
+      return Result::success(B.cons(Head, list1(E.Datum)));
+    }
+    if (Name == "let")
+      return expandLet(Form);
+    if (Name == "let*")
+      return expandLetStar(Form);
+    if (Name == "letrec")
+      return expandLetrec(Form);
+    if (Name == "cond")
+      return expandCond(Form);
+    if (Name == "case")
+      return expandCase(Form);
+    if (Name == "and")
+      return expandAnd(Form);
+    if (Name == "or")
+      return expandOr(Form);
+    if (Name == "when")
+      return expandWhenUnless(Form, true);
+    if (Name == "unless")
+      return expandWhenUnless(Form, false);
+    if (Name == "do")
+      return expandDo(Form);
+    if (Name == "quasiquote") {
+      if (listLength(Form) != 2)
+        return err("malformed quasiquote", Form);
+      return expandQuasi(carOf(cdrOf(Form)), 0);
+    }
+    if (Name == "unquote" || Name == "unquote-splicing")
+      return err("unquote outside quasiquote", Form);
+    if (Name == "bind" || Name == "fluid-let")
+      return expandBind(Form);
+    if (Name == "define-fluid") {
+      if (listLength(Form) != 3 || !isSymbol(carOf(cdrOf(Form))))
+        return err("malformed define-fluid", Form);
+      Result Init = expandForm(carOf(cdrOf(cdrOf(Form))));
+      if (!Init.Ok)
+        return Init;
+      return Result::success(list3(sym("%dyn-define"),
+                                   list2(sym("quote"), carOf(cdrOf(Form))),
+                                   Init.Datum));
+    }
+    if (Name == "fluid") {
+      if (listLength(Form) != 2 || !isSymbol(carOf(cdrOf(Form))))
+        return err("malformed fluid reference", Form);
+      return Result::success(
+          list2(sym("%dyn-ref"), list2(sym("quote"), carOf(cdrOf(Form)))));
+    }
+    if (Name == "set-fluid!") {
+      if (listLength(Form) != 3 || !isSymbol(carOf(cdrOf(Form))))
+        return err("malformed set-fluid!", Form);
+      Result V = expandForm(carOf(cdrOf(cdrOf(Form))));
+      if (!V.Ok)
+        return V;
+      return Result::success(list3(sym("%dyn-set!"),
+                                   list2(sym("quote"), carOf(cdrOf(Form))),
+                                   V.Datum));
+    }
+  }
+
+  // Ordinary application: expand every element.
+  return expandSequence(Form);
+}
+
+Expander::Result Expander::expandDefine(Value Form) {
+  Value Tail = cdrOf(Form);
+  if (!isPair(Tail))
+    return err("malformed define", Form);
+  Value NameOrSig = carOf(Tail);
+  if (isPair(NameOrSig)) {
+    // (define (f . params) body...) sugar.
+    Value Name = carOf(NameOrSig);
+    if (!isSymbol(Name))
+      return err("define of a non-symbol", Form);
+    Value LambdaForm =
+        B.cons(sym("lambda"), B.cons(cdrOf(NameOrSig), cdrOf(Tail)));
+    Result L = expandForm(LambdaForm);
+    if (!L.Ok)
+      return L;
+    return Result::success(list3(sym("define"), Name, L.Datum));
+  }
+  if (!isSymbol(NameOrSig) || listLength(Form) != 3)
+    return err("malformed define", Form);
+  Result V = expandForm(carOf(cdrOf(Tail)));
+  if (!V.Ok)
+    return V;
+  return Result::success(list3(sym("define"), NameOrSig, V.Datum));
+}
+
+Expander::Result Expander::expandLambda(Value Form) {
+  if (!isPair(cdrOf(Form)))
+    return err("malformed lambda", Form);
+  Value Params = carOf(cdrOf(Form));
+  Result Body = expandBody(cdrOf(cdrOf(Form)));
+  if (!Body.Ok)
+    return Body;
+  return Result::success(
+      B.cons(sym("lambda"), list2(Params, Body.Datum)));
+}
+
+Expander::Result Expander::expandLet(Value Form) {
+  Value Tail = cdrOf(Form);
+  if (!isPair(Tail))
+    return err("malformed let", Form);
+  if (isSymbol(carOf(Tail))) {
+    if (!isPair(cdrOf(Tail)))
+      return err("malformed named let", Form);
+    return expandNamedLet(carOf(Tail), carOf(cdrOf(Tail)), cdrOf(cdrOf(Tail)));
+  }
+
+  Value Bindings = carOf(Tail);
+  std::vector<Value> Expanded;
+  for (Value P = Bindings; !P.isNil(); P = cdrOf(P)) {
+    if (!isPair(P) || !isPair(carOf(P)) || !isSymbol(carOf(carOf(P))) ||
+        listLength(carOf(P)) != 2)
+      return err("malformed let binding", Form);
+    Result Init = expandForm(carOf(cdrOf(carOf(P))));
+    if (!Init.Ok)
+      return Init;
+    Expanded.push_back(list2(carOf(carOf(P)), Init.Datum));
+  }
+  Result Body = expandBody(cdrOf(Tail));
+  if (!Body.Ok)
+    return Body;
+  return Result::success(B.cons(
+      sym("let"), list2(B.listFromVector(Expanded), Body.Datum)));
+}
+
+Expander::Result Expander::expandLetStar(Value Form) {
+  Value Tail = cdrOf(Form);
+  if (!isPair(Tail))
+    return err("malformed let*", Form);
+  Value Bindings = carOf(Tail);
+  Value Body = cdrOf(Tail);
+  if (Bindings.isNil())
+    return expandForm(B.cons(sym("let"), B.cons(Value::nil(), Body)));
+  if (!isPair(Bindings))
+    return err("malformed let* bindings", Form);
+  // (let* (b1 b2...) body) -> (let (b1) (let* (b2...) body))
+  Value Inner = B.cons(sym("let*"), B.cons(cdrOf(Bindings), Body));
+  return expandForm(
+      B.cons(sym("let"), list2(list1(carOf(Bindings)), Inner)));
+}
+
+Expander::Result Expander::expandLetrec(Value Form) {
+  Value Tail = cdrOf(Form);
+  if (!isPair(Tail))
+    return err("malformed letrec", Form);
+  Value Bindings = carOf(Tail);
+  Value Body = cdrOf(Tail);
+  // (letrec ((v e)...) body) ->
+  //   (let ((v #f)...) (set! v e) ... body...)
+  std::vector<Value> Dummies;
+  std::vector<Value> Sets;
+  for (Value P = Bindings; !P.isNil(); P = cdrOf(P)) {
+    if (!isPair(P) || !isPair(carOf(P)) || listLength(carOf(P)) != 2 ||
+        !isSymbol(carOf(carOf(P))))
+      return err("malformed letrec binding", Form);
+    Value Name = carOf(carOf(P));
+    Value Init = carOf(cdrOf(carOf(P)));
+    Dummies.push_back(list2(Name, Value::falseV()));
+    Sets.push_back(list3(sym("set!"), Name, Init));
+  }
+  Value NewBody = Body;
+  for (size_t I = Sets.size(); I > 0; --I)
+    NewBody = B.cons(Sets[I - 1], NewBody);
+  return expandForm(
+      B.cons(sym("let"), B.cons(B.listFromVector(Dummies), NewBody)));
+}
+
+Expander::Result Expander::expandNamedLet(Value Name, Value Bindings,
+                                          Value Body) {
+  std::vector<Value> Vars;
+  std::vector<Value> Inits;
+  for (Value P = Bindings; !P.isNil(); P = cdrOf(P)) {
+    if (!isPair(P) || !isPair(carOf(P)) || listLength(carOf(P)) != 2 ||
+        !isSymbol(carOf(carOf(P))))
+      return err("malformed named-let binding", Bindings);
+    Vars.push_back(carOf(carOf(P)));
+    Inits.push_back(carOf(cdrOf(carOf(P))));
+  }
+  // ((letrec ((name (lambda (vars...) body...))) name) inits...)
+  Value Lambda =
+      B.cons(sym("lambda"), B.cons(B.listFromVector(Vars), Body));
+  Value Letrec = list3(sym("letrec"), list1(list2(Name, Lambda)), Name);
+  return expandForm(B.cons(Letrec, B.listFromVector(Inits)));
+}
+
+Expander::Result Expander::expandCond(Value Form) {
+  Value Clauses = cdrOf(Form);
+  if (Clauses.isNil())
+    return Result::success(Value::falseV());
+  if (!isPair(Clauses))
+    return err("malformed cond", Form);
+  Value Clause = carOf(Clauses);
+  if (!isPair(Clause))
+    return err("malformed cond clause", Form);
+  Value Test = carOf(Clause);
+  Value Exprs = cdrOf(Clause);
+  if (isSymbolNamed(Test, "else")) {
+    if (Exprs.isNil())
+      return err("empty else clause", Form);
+    return expandForm(B.cons(sym("begin"), Exprs));
+  }
+  Value Rest = B.cons(sym("cond"), cdrOf(Clauses));
+  if (Exprs.isNil()) {
+    // (cond (test) rest...) -> (or test (cond rest...))
+    return expandForm(list3(sym("or"), Test, Rest));
+  }
+  // (cond (test e...) rest...) -> (if test (begin e...) (cond rest...))
+  Value IfForm = B.cons(
+      sym("if"), B.cons(Test, list2(B.cons(sym("begin"), Exprs), Rest)));
+  return expandForm(IfForm);
+}
+
+Expander::Result Expander::expandCase(Value Form) {
+  // (case key ((d...) e...) ... (else e...))
+  Value Tail = cdrOf(Form);
+  if (!isPair(Tail))
+    return err("malformed case", Form);
+  Value Key = carOf(Tail);
+  Value T = gensym("case");
+  // Build cond clauses comparing with eq? (fixnum/symbol/char keys).
+  std::vector<Value> CondClauses;
+  for (Value P = cdrOf(Tail); !P.isNil(); P = cdrOf(P)) {
+    if (!isPair(P) || !isPair(carOf(P)))
+      return err("malformed case clause", Form);
+    Value Clause = carOf(P);
+    Value Data = carOf(Clause);
+    Value Exprs = cdrOf(Clause);
+    if (isSymbolNamed(Data, "else")) {
+      CondClauses.push_back(B.cons(sym("else"), Exprs));
+      continue;
+    }
+    std::vector<Value> Tests;
+    for (Value D = Data; !D.isNil(); D = cdrOf(D)) {
+      if (!isPair(D))
+        return err("malformed case datum list", Form);
+      Tests.push_back(
+          list3(sym("eq?"), T, list2(sym("quote"), carOf(D))));
+    }
+    Value TestExpr = Tests.size() == 1
+                         ? Tests[0]
+                         : B.cons(sym("or"), B.listFromVector(Tests));
+    CondClauses.push_back(B.cons(TestExpr, Exprs));
+  }
+  Value CondForm = B.cons(sym("cond"), B.listFromVector(CondClauses));
+  Value LetForm = B.cons(
+      sym("let"), list2(list1(list2(T, Key)), CondForm));
+  return expandForm(LetForm);
+}
+
+Expander::Result Expander::expandAnd(Value Form) {
+  Value Args = cdrOf(Form);
+  if (Args.isNil())
+    return Result::success(Value::trueV());
+  if (cdrOf(Args).isNil())
+    return expandForm(carOf(Args));
+  // (and a b...) -> (if a (and b...) #f)
+  Value Rest = B.cons(sym("and"), cdrOf(Args));
+  return expandForm(B.cons(
+      sym("if"), B.cons(carOf(Args), list2(Rest, Value::falseV()))));
+}
+
+Expander::Result Expander::expandOr(Value Form) {
+  Value Args = cdrOf(Form);
+  if (Args.isNil())
+    return Result::success(Value::falseV());
+  if (cdrOf(Args).isNil())
+    return expandForm(carOf(Args));
+  // (or a b...) -> (let ((t a)) (if t t (or b...)))
+  Value T = gensym("or");
+  Value Rest = B.cons(sym("or"), cdrOf(Args));
+  Value IfForm = B.cons(sym("if"), B.cons(T, list2(T, Rest)));
+  return expandForm(B.cons(
+      sym("let"), list2(list1(list2(T, carOf(Args))), IfForm)));
+}
+
+Expander::Result Expander::expandWhenUnless(Value Form, bool IsWhen) {
+  Value Tail = cdrOf(Form);
+  if (!isPair(Tail) || cdrOf(Tail).isNil())
+    return err("malformed when/unless", Form);
+  Value Test = carOf(Tail);
+  Value Body = B.cons(sym("begin"), cdrOf(Tail));
+  if (IsWhen)
+    return expandForm(
+        B.cons(sym("if"), B.cons(Test, list2(Body, Value::falseV()))));
+  return expandForm(B.cons(
+      sym("if"), B.cons(Test, list2(Value::falseV(), Body))));
+}
+
+Expander::Result Expander::expandDo(Value Form) {
+  // (do ((var init step)...) (test res...) body...)
+  if (listLength(Form) < 3)
+    return err("malformed do", Form);
+  Value Specs = carOf(cdrOf(Form));
+  Value TestClause = carOf(cdrOf(cdrOf(Form)));
+  Value Body = cdrOf(cdrOf(cdrOf(Form)));
+  if (!isPair(TestClause))
+    return err("malformed do test clause", Form);
+
+  Value Loop = gensym("do");
+  std::vector<Value> Bindings;
+  std::vector<Value> Steps;
+  for (Value P = Specs; !P.isNil(); P = cdrOf(P)) {
+    if (!isPair(P) || !isPair(carOf(P)))
+      return err("malformed do binding", Form);
+    Value Spec = carOf(P);
+    Value Var = carOf(Spec);
+    if (!isSymbol(Var))
+      return err("do variable is not a symbol", Form);
+    int64_t N = listLength(Spec);
+    if (N != 2 && N != 3)
+      return err("malformed do binding", Form);
+    Value Init = carOf(cdrOf(Spec));
+    Value Step = N == 3 ? carOf(cdrOf(cdrOf(Spec))) : Var;
+    Bindings.push_back(list2(Var, Init));
+    Steps.push_back(Step);
+  }
+
+  Value Test = carOf(TestClause);
+  Value Results = cdrOf(TestClause);
+  Value Then = Results.isNil() ? Value::falseV()
+                               : B.cons(sym("begin"), Results);
+  Value Recur = B.cons(Loop, B.listFromVector(Steps));
+  Value Else = Body.isNil()
+                   ? Recur
+                   : B.cons(sym("begin"),
+                            B.listFromVector([&] {
+                              std::vector<Value> Seq;
+                              for (Value P = Body; !P.isNil(); P = cdrOf(P))
+                                Seq.push_back(carOf(P));
+                              Seq.push_back(Recur);
+                              return Seq;
+                            }()));
+  Value IfForm = B.cons(sym("if"), B.cons(Test, list2(Then, Else)));
+  Value NamedLet =
+      B.cons(sym("let"),
+             B.cons(Loop, list2(B.listFromVector(Bindings), IfForm)));
+  return expandForm(NamedLet);
+}
+
+Expander::Result Expander::expandQuasi(Value Datum, int Depth) {
+  if (isPair(Datum)) {
+    Value Head = carOf(Datum);
+    if (isSymbolNamed(Head, "unquote") && listLength(Datum) == 2) {
+      if (Depth == 0)
+        return expandForm(carOf(cdrOf(Datum)));
+      Result Inner = expandQuasi(carOf(cdrOf(Datum)), Depth - 1);
+      if (!Inner.Ok)
+        return Inner;
+      return Result::success(list3(
+          sym("list"), list2(sym("quote"), sym("unquote")), Inner.Datum));
+    }
+    if (isSymbolNamed(Head, "quasiquote") && listLength(Datum) == 2) {
+      Result Inner = expandQuasi(carOf(cdrOf(Datum)), Depth + 1);
+      if (!Inner.Ok)
+        return Inner;
+      return Result::success(list3(sym("list"),
+                                   list2(sym("quote"), sym("quasiquote")),
+                                   Inner.Datum));
+    }
+    // Splicing in car position.
+    if (isPair(Head) && isSymbolNamed(carOf(Head), "unquote-splicing") &&
+        listLength(Head) == 2 && Depth == 0) {
+      Result Spliced = expandForm(carOf(cdrOf(Head)));
+      if (!Spliced.Ok)
+        return Spliced;
+      Result Rest = expandQuasi(cdrOf(Datum), Depth);
+      if (!Rest.Ok)
+        return Rest;
+      return Result::success(
+          list3(sym("append"), Spliced.Datum, Rest.Datum));
+    }
+    Result CarR = expandQuasi(Head, Depth);
+    if (!CarR.Ok)
+      return CarR;
+    Result CdrR = expandQuasi(cdrOf(Datum), Depth);
+    if (!CdrR.Ok)
+      return CdrR;
+    return Result::success(list3(sym("cons"), CarR.Datum, CdrR.Datum));
+  }
+  return Result::success(list2(sym("quote"), Datum));
+}
+
+Expander::Result Expander::expandBind(Value Form) {
+  // (bind ((sym e)...) body...) with deep-binding primitives.
+  Value Tail = cdrOf(Form);
+  if (!isPair(Tail))
+    return err("malformed bind", Form);
+  Value Bindings = carOf(Tail);
+  Value Body = cdrOf(Tail);
+  if (Body.isNil())
+    return err("empty bind body", Form);
+
+  std::vector<Value> Syms;
+  std::vector<Value> Temps;
+  std::vector<Value> LetBindings;
+  for (Value P = Bindings; !P.isNil(); P = cdrOf(P)) {
+    if (!isPair(P) || !isPair(carOf(P)) || listLength(carOf(P)) != 2 ||
+        !isSymbol(carOf(carOf(P))))
+      return err("malformed bind binding", Form);
+    Value S = carOf(carOf(P));
+    Value E = carOf(cdrOf(carOf(P)));
+    Value T = gensym("bind");
+    Syms.push_back(S);
+    Temps.push_back(T);
+    LetBindings.push_back(list2(T, E));
+  }
+
+  // (let ((t1 e1)...)
+  //   (%dyn-push 's1 t1) ...
+  //   (let ((r (begin body...)))
+  //     (%dyn-pop) ... r))
+  Value R = gensym("bindr");
+  Value PopSeq = R;
+  {
+    std::vector<Value> Seq;
+    for (size_t I = 0; I < Syms.size(); ++I)
+      Seq.push_back(list1(sym("%dyn-pop")));
+    Seq.push_back(R);
+    PopSeq = B.cons(sym("begin"), B.listFromVector(Seq));
+  }
+  Value InnerLet = B.cons(
+      sym("let"),
+      list2(list1(list2(R, B.cons(sym("begin"), Body))), PopSeq));
+  std::vector<Value> OuterSeq;
+  for (size_t I = 0; I < Syms.size(); ++I)
+    OuterSeq.push_back(list3(sym("%dyn-push"),
+                             list2(sym("quote"), Syms[I]), Temps[I]));
+  OuterSeq.push_back(InnerLet);
+  Value OuterBody = B.cons(sym("begin"), B.listFromVector(OuterSeq));
+  Value OuterLet = B.cons(
+      sym("let"), list2(B.listFromVector(LetBindings), OuterBody));
+  return expandForm(OuterLet);
+}

@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Macro expander: rewrites T/Scheme derived forms into the core language.
+///
+/// Core forms understood by the analyzer: `quote if set! define lambda let
+/// begin future touch` plus calls, variables and literals. Everything else
+/// (`let* letrec named-let cond case and or when unless do quasiquote bind
+/// fluid-let define-fluid fluid set-fluid!`) expands here. Special-form
+/// names are reserved words, as in T.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_COMPILER_EXPANDER_H
+#define MULT_COMPILER_EXPANDER_H
+
+#include "runtime/DatumBuilder.h"
+
+#include <string>
+
+namespace mult {
+
+/// The expander. Holds a gensym counter so temporaries stay unique across
+/// forms compiled by the same engine.
+class Expander {
+public:
+  explicit Expander(DatumBuilder &B) : B(B) {}
+
+  struct Result {
+    bool Ok = true;
+    Value Datum;
+    std::string Error;
+
+    static Result success(Value V) { return {true, V, {}}; }
+    static Result failure(std::string Msg) {
+      return {false, Value::nil(), std::move(Msg)};
+    }
+  };
+
+  /// Fully expands \p Form (top level).
+  Result expand(Value Form);
+
+private:
+  Result expandForm(Value Form);
+  Result expandBody(Value Body);          ///< Handles internal defines.
+  Result expandSequence(Value Forms);     ///< Expands each element.
+  Result expandLet(Value Form);
+  Result expandLetStar(Value Form);
+  Result expandLetrec(Value Form);
+  Result expandNamedLet(Value Name, Value Bindings, Value Body);
+  Result expandCond(Value Form);
+  Result expandCase(Value Form);
+  Result expandAnd(Value Form);
+  Result expandOr(Value Form);
+  Result expandWhenUnless(Value Form, bool IsWhen);
+  Result expandDo(Value Form);
+  Result expandQuasi(Value Datum, int Depth);
+  Result expandBind(Value Form);
+  Result expandDefine(Value Form);
+  Result expandLambda(Value Form);
+
+  Result err(const char *What, Value Form);
+  Value gensym(const char *Hint);
+
+  /// (sym rest...) list builders.
+  Value list1(Value A) { return B.cons(A, Value::nil()); }
+  Value list2(Value A, Value C) { return B.cons(A, list1(C)); }
+  Value list3(Value A, Value C, Value D) { return B.cons(A, list2(C, D)); }
+  Value sym(const char *Name) { return B.symbol(Name); }
+
+  DatumBuilder &B;
+  unsigned GensymCounter = 0;
+};
+
+} // namespace mult
+
+#endif // MULT_COMPILER_EXPANDER_H

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Primitive registry implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/PrimTable.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace mult;
+
+static const PrimInfo PrimInfos[] = {
+#define MULT_PRIM_INFO(Id, Name, Min, Max, Cost)                               \
+  {PrimId::Id, Name, Min, Max, Cost},
+    MULT_PRIM_LIST(MULT_PRIM_INFO)
+#undef MULT_PRIM_INFO
+};
+
+const PrimInfo &mult::primInfo(PrimId Id) {
+  assert(Id < PrimId::NumPrims && "bad primitive id");
+  return PrimInfos[static_cast<size_t>(Id)];
+}
+
+std::optional<PrimId> mult::lookupPrim(std::string_view Name) {
+  static const auto *Map = [] {
+    auto *M = new std::unordered_map<std::string_view, PrimId>();
+    for (const PrimInfo &P : PrimInfos)
+      M->emplace(P.Name, P.Id);
+    return M;
+  }();
+  auto It = Map->find(Name);
+  if (It == Map->end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<FastOpInfo> mult::lookupFastOp(std::string_view Name) {
+  struct Entry {
+    std::string_view Name;
+    FastOpInfo Info;
+  };
+  // StrictMask bit i touches operand i (0 = pushed first / deepest).
+  // Storing operations (cons, set-car!, vector-set!) are non-strict in the
+  // stored value, per paper section 1.1.
+  static const Entry Entries[] = {
+      {"+", {Op::Add, 2, 0b11, true}},
+      {"-", {Op::Sub, 2, 0b11, true}},
+      {"*", {Op::Mul, 2, 0b11, true}},
+      {"quotient", {Op::Quotient, 2, 0b11, true}},
+      {"remainder", {Op::Remainder, 2, 0b11, true}},
+      {"<", {Op::NumLt, 2, 0b11, true}},
+      {"<=", {Op::NumLe, 2, 0b11, true}},
+      {">", {Op::NumGt, 2, 0b11, true}},
+      {">=", {Op::NumGe, 2, 0b11, true}},
+      {"=", {Op::NumEq, 2, 0b11, true}},
+      {"eq?", {Op::Eq, 2, 0b11, true}},
+      {"cons", {Op::Cons, 2, 0b00, true}},
+      {"car", {Op::Car, 1, 0b1, false}},
+      {"cdr", {Op::Cdr, 1, 0b1, false}},
+      {"set-car!", {Op::SetCar, 2, 0b01, true}},
+      {"set-cdr!", {Op::SetCdr, 2, 0b01, true}},
+      {"null?", {Op::NullP, 1, 0b1, true}},
+      {"pair?", {Op::PairP, 1, 0b1, true}},
+      {"not", {Op::Not, 1, 0b1, true}},
+      {"vector-ref", {Op::VectorRef, 2, 0b11, false}},
+      {"vector-set!", {Op::VectorSet, 3, 0b011, true}},
+      {"vector-length", {Op::VectorLength, 1, 0b1, true}},
+  };
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return E.Info;
+  return std::nullopt;
+}

@@ -1,0 +1,178 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Touch optimizer implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/TouchOpt.h"
+
+#include <cassert>
+
+using namespace mult;
+
+bool mult::primResultNonFuture(PrimId Id) {
+  switch (Id) {
+  case PrimId::Get:      // extracts a stored (possibly future) value
+  case PrimId::Apply:    // returns whatever the callee returns
+  case PrimId::DynRef:   // reads a dynamic binding
+  case PrimId::ErrorPrim: // resumption can substitute any value
+    return false;
+  default:
+    return true;
+  }
+}
+
+namespace {
+
+/// One non-future fact per binding id.
+using FactMap = std::vector<uint8_t>;
+
+class TouchAnalysis {
+public:
+  explicit TouchAnalysis(Program &P) : P(P) {}
+
+  void run() {
+    FactMap Facts(P.Bindings.size(), 0);
+    auto *Top = astCast<LambdaAst>(P.Top.get());
+    analyzeNode(Top->Body.get(), Facts);
+  }
+
+private:
+  /// Returns true when the node's result is provably non-future, updating
+  /// \p Facts with the node's side effects on variable knowledge. Also
+  /// stores the verdict on the node.
+  bool analyzeNode(AstNode *N, FactMap &Facts) {
+    bool R = analyzeImpl(N, Facts);
+    N->ResultNonFuture = R;
+    return R;
+  }
+
+  /// When \p Operand sits in a strict position, the generated touch writes
+  /// the resolved value back if the operand is an unboxed local; record
+  /// the new fact.
+  void recordTouch(AstNode *Operand, FactMap &Facts) {
+    if (auto *V = astDynCast<VarRefAst>(Operand))
+      if (V->Where == VarWhere::Local && !P.bindingBoxed(V->Id))
+        Facts[static_cast<size_t>(V->Id)] = 1;
+  }
+
+  bool analyzeImpl(AstNode *N, FactMap &Facts) {
+    switch (N->Kind) {
+    case AstKind::Const:
+      // Program text cannot contain future objects.
+      return true;
+
+    case AstKind::VarRef: {
+      auto *V = astCast<VarRefAst>(N);
+      if (V->Where == VarWhere::Local && !P.bindingBoxed(V->Id))
+        return Facts[static_cast<size_t>(V->Id)] != 0;
+      return false;
+    }
+
+    case AstKind::SetVar: {
+      auto *S = astCast<SetVarAst>(N);
+      analyzeNode(S->Val.get(), Facts);
+      return true; // set! yields unspecified
+    }
+
+    case AstKind::If: {
+      auto *I = astCast<IfAst>(N);
+      analyzeNode(I->Cond.get(), Facts);
+      // The test is strict: JumpIfFalse touches it.
+      recordTouch(I->Cond.get(), Facts);
+      FactMap ThenFacts = Facts;
+      FactMap ElseFacts = Facts;
+      bool T = analyzeNode(I->Then.get(), ThenFacts);
+      bool E = analyzeNode(I->Else.get(), ElseFacts);
+      // Meet: keep facts that hold on both paths.
+      for (size_t K = 0; K < Facts.size(); ++K)
+        Facts[K] = ThenFacts[K] && ElseFacts[K];
+      return T && E;
+    }
+
+    case AstKind::Begin: {
+      auto *B = astCast<BeginAst>(N);
+      bool Last = true;
+      for (AstPtr &F : B->Forms)
+        Last = analyzeNode(F.get(), Facts);
+      return Last;
+    }
+
+    case AstKind::Let: {
+      auto *L = astCast<LetAst>(N);
+      for (size_t K = 0; K < L->Inits.size(); ++K) {
+        bool InitNF = analyzeNode(L->Inits[K].get(), Facts);
+        int Id = L->BindingIds[K];
+        if (!P.bindingBoxed(Id))
+          Facts[static_cast<size_t>(Id)] = InitNF ? 1 : 0;
+      }
+      return analyzeNode(L->Body.get(), Facts);
+    }
+
+    case AstKind::Lambda: {
+      auto *L = astCast<LambdaAst>(N);
+      // The body runs in a different activation; start from nothing.
+      FactMap Fresh(P.Bindings.size(), 0);
+      analyzeNode(L->Body.get(), Fresh);
+      return true; // the closure object itself is never a future
+    }
+
+    case AstKind::Call: {
+      auto *C = astCast<CallAst>(N);
+      analyzeNode(C->Fn.get(), Facts);
+      recordTouch(C->Fn.get(), Facts); // calling touches the callee
+      for (AstPtr &A : C->Args)
+        analyzeNode(A.get(), Facts);
+      return false; // any procedure may return a future
+    }
+
+    case AstKind::PrimCall: {
+      auto *C = astCast<PrimCallAst>(N);
+      for (AstPtr &A : C->Args)
+        analyzeNode(A.get(), Facts);
+      if (C->IsFast) {
+        for (size_t K = 0; K < C->Args.size(); ++K)
+          if (C->Fast.StrictMask & (1u << K))
+            recordTouch(C->Args[K].get(), Facts);
+        return C->Fast.ResultNonFuture;
+      }
+      // Called primitives touch internally without write-back.
+      return primResultNonFuture(C->Prim);
+    }
+
+    case AstKind::Future: {
+      auto *F = astCast<FutureAst>(N);
+      FactMap Fresh(P.Bindings.size(), 0);
+      analyzeNode(F->Thunk->Body.get(), Fresh);
+      F->Thunk->ResultNonFuture = true;
+      return false; // this is the whole point of the construct
+    }
+
+    case AstKind::TouchExpr: {
+      auto *T = astCast<TouchAst>(N);
+      analyzeNode(T->Expr.get(), Facts);
+      recordTouch(T->Expr.get(), Facts);
+      return true;
+    }
+
+    case AstKind::Define: {
+      auto *D = astCast<DefineAst>(N);
+      analyzeNode(D->Val.get(), Facts);
+      return true;
+    }
+    }
+    assert(false && "unhandled AST kind");
+    return false;
+  }
+
+  Program &P;
+};
+
+} // namespace
+
+void mult::runTouchOptimization(Program &P) {
+  if (!P.Top)
+    return;
+  TouchAnalysis(P).run();
+}

@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The touch optimizer: a simple first-order type analysis (paper
+/// section 2.2) that proves expressions non-future so strict consumers can
+/// skip the implicit touch.
+///
+/// Facts tracked per unboxed local binding, flow-sensitively:
+///  - constants, closures, and results of strict arithmetic are non-future;
+///  - results of car/cdr/vector-ref are unknown (structures store futures
+///    without touching them);
+///  - once a variable has been touched (used in a strict position, or as an
+///    `if` test), it stays non-future — the generated TouchLocal writes the
+///    resolved value back to the slot;
+///  - facts meet at `if` joins and never cross lambda boundaries (a
+///    closure's body runs at another time, possibly on another processor).
+///
+/// Boxed (assigned) variables and globals never carry facts: another task
+/// may store a fresh future into them at any moment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_COMPILER_TOUCHOPT_H
+#define MULT_COMPILER_TOUCHOPT_H
+
+#include "compiler/Ast.h"
+
+namespace mult {
+
+/// Runs the analysis over \p P, setting AstNode::ResultNonFuture.
+void runTouchOptimization(Program &P);
+
+/// True when the called primitive's own result can never be an unresolved
+/// future (e.g. `get` extracts stored values and is therefore false).
+bool primResultNonFuture(PrimId Id);
+
+} // namespace mult
+
+#endif // MULT_COMPILER_TOUCHOPT_H

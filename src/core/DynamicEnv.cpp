@@ -1,0 +1,129 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-binding implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DynamicEnv.h"
+
+#include "core/Engine.h"
+
+using namespace mult;
+
+/// The plist key under which a fluid's global default box lives.
+static Value fluidDefaultKey(Engine &E) {
+  return Value::object(E.symbols().intern("%fluid-default"));
+}
+
+/// Finds the default box on \p Sym's plist: plist entries are
+/// ((key . value) ...); fluids use a nested entry (%fluid-default . box)
+/// keyed per fluid symbol, so the default box lives on the fluid symbol
+/// itself.
+static Object *findDefaultBox(Engine &E, Object *Sym) {
+  Value Key = fluidDefaultKey(E);
+  for (Value P = Sym->plist(); !P.isNil(); P = P.asObject()->cdr()) {
+    Object *Entry = P.asObject()->car().asObject();
+    if (Entry->car().identical(Key))
+      return Entry->cdr().asObject();
+  }
+  return nullptr;
+}
+
+bool dynenv::push(Engine &E, Processor &P, Task &T, Value Sym, Value Val) {
+  uint64_t Cycles = 0;
+  Object *Box = E.tryAlloc(P, TypeTag::Box, 1, Cycles);
+  if (!Box) {
+    P.charge(Cycles);
+    return false;
+  }
+  Box->setSlot(0, Val);
+  Object *Entry = E.tryAlloc(P, TypeTag::Pair, 2, Cycles);
+  if (!Entry) {
+    P.charge(Cycles);
+    return false;
+  }
+  Entry->setCar(Sym);
+  Entry->setCdr(Value::object(Box));
+  Object *Link = E.tryAlloc(P, TypeTag::Pair, 2, Cycles);
+  if (!Link) {
+    P.charge(Cycles);
+    return false;
+  }
+  Link->setCar(Value::object(Entry));
+  Link->setCdr(T.DynEnv);
+  T.DynEnv = Value::object(Link);
+  P.charge(Cycles + 4);
+  return true;
+}
+
+void dynenv::pop(Task &T) {
+  assert(!T.DynEnv.isNil() && "%dyn-pop on empty dynamic environment");
+  T.DynEnv = T.DynEnv.asObject()->cdr();
+}
+
+/// Walks \p T's chain for \p Sym; returns the binding box or null.
+static Object *findTaskBox(Task &T, Value Sym) {
+  for (Value P = T.DynEnv; !P.isNil(); P = P.asObject()->cdr()) {
+    Object *Entry = P.asObject()->car().asObject();
+    if (Entry->car().identical(Sym))
+      return Entry->cdr().asObject();
+  }
+  return nullptr;
+}
+
+bool dynenv::ref(Engine &E, Task &T, Value Sym, Value &Out) {
+  if (Object *Box = findTaskBox(T, Sym)) {
+    Out = Box->boxValue();
+    return true;
+  }
+  if (Object *Box = findDefaultBox(E, Sym.asObject())) {
+    Out = Box->boxValue();
+    return true;
+  }
+  return false;
+}
+
+bool dynenv::set(Engine &E, Task &T, Value Sym, Value V) {
+  if (Object *Box = findTaskBox(T, Sym)) {
+    Box->setBoxValue(V);
+    return true;
+  }
+  if (Object *Box = findDefaultBox(E, Sym.asObject())) {
+    Box->setBoxValue(V);
+    return true;
+  }
+  return false;
+}
+
+bool dynenv::define(Engine &E, Processor &P, Value Sym, Value Init) {
+  Object *SymO = Sym.asObject();
+  if (Object *Box = findDefaultBox(E, SymO)) {
+    Box->setBoxValue(Init);
+    return true;
+  }
+  uint64_t Cycles = 0;
+  Object *Box = E.tryAlloc(P, TypeTag::Box, 1, Cycles);
+  if (!Box) {
+    P.charge(Cycles);
+    return false;
+  }
+  Box->setSlot(0, Init);
+  Object *Entry = E.tryAlloc(P, TypeTag::Pair, 2, Cycles);
+  if (!Entry) {
+    P.charge(Cycles);
+    return false;
+  }
+  Entry->setCar(fluidDefaultKey(E));
+  Entry->setCdr(Value::object(Box));
+  Object *Link = E.tryAlloc(P, TypeTag::Pair, 2, Cycles);
+  if (!Link) {
+    P.charge(Cycles);
+    return false;
+  }
+  Link->setCar(Value::object(Entry));
+  Link->setCdr(SymO->plist());
+  SymO->setPlist(Value::object(Link));
+  P.charge(Cycles + 4);
+  return true;
+}

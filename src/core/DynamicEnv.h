@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-specific variables via deep binding (paper section 2.1.1).
+///
+/// T3 used shallow dynamic binding; Mul-T converted it to deep binding so
+/// each task can carry its own bindings. A task's dynamic environment is a
+/// list of (symbol . box) frames; a child task created by `future` inherits
+/// the parent's chain at creation time (the "representation of the process
+/// specific variables" stored with the future). `(bind ((v e)) ...)` pushes
+/// a frame for the dynamic extent of its body; `define-fluid` installs a
+/// default on the symbol's plist.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_CORE_DYNAMICENV_H
+#define MULT_CORE_DYNAMICENV_H
+
+#include "core/Task.h"
+#include "runtime/Object.h"
+
+namespace mult {
+
+class Engine;
+struct Processor;
+
+namespace dynenv {
+
+/// Pushes a binding of \p Sym to \p Val onto \p T's chain. Returns false
+/// on allocation failure (NeedsGc; retry).
+bool push(Engine &E, Processor &P, Task &T, Value Sym, Value Val);
+
+/// Pops the innermost frame.
+void pop(Task &T);
+
+/// Reads \p Sym: innermost task frame, else the global fluid default.
+/// Returns false if the fluid is entirely unbound.
+bool ref(Engine &E, Task &T, Value Sym, Value &Out);
+
+/// Assigns the innermost binding (or the global default). Returns false
+/// if unbound.
+bool set(Engine &E, Task &T, Value Sym, Value V);
+
+/// Installs a global default for \p Sym (define-fluid). Returns false on
+/// allocation failure.
+bool define(Engine &E, Processor &P, Value Sym, Value Init);
+
+} // namespace dynenv
+} // namespace mult
+
+#endif // MULT_CORE_DYNAMICENV_H

@@ -1,0 +1,605 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Engine implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include "lib/Prelude.h"
+#include "reader/Reader.h"
+#include "runtime/Printer.h"
+#include "support/StrUtil.h"
+#include "vm/CostModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mult;
+
+static Heap::Config heapConfig(const EngineConfig &C) {
+  Heap::Config H;
+  H.SemispaceWords = C.HeapWords;
+  H.ChunkWords = C.ChunkWords;
+  H.LargeObjectWords = C.LargeObjectWords;
+  H.NumAllocators = C.NumProcessors;
+  return H;
+}
+
+static CompilerOptions compilerOptions(const EngineConfig &C) {
+  CompilerOptions O;
+  O.EmitTouchChecks = C.EmitTouchChecks;
+  O.OptimizeTouches = C.OptimizeTouches;
+  O.IntegratePrims = C.IntegratePrims;
+  return O;
+}
+
+Engine::Engine(const EngineConfig &Config)
+    : Cfg(Config), TheHeap(heapConfig(Config)), Syms(TheHeap),
+      Builder(TheHeap, Syms), Registry(TheHeap),
+      TheCompiler(Builder, Registry, compilerOptions(Config)),
+      TheGc(TheHeap, Config.NumProcessors),
+      TheMachine(Config.NumProcessors, Config.QuantumCycles,
+                 Config.MaxRunCycles, Config.StealPolicy),
+      Rng(Config.RandomSeed) {
+  bootstrap();
+}
+
+Engine::~Engine() = default;
+
+//===----------------------------------------------------------------------===//
+// Bootstrap
+//===----------------------------------------------------------------------===//
+
+void Engine::installPrimitiveWrappers() {
+  // Give every primitive a closure binding so primitive names work as
+  // first-class values, e.g. (map car lst) or (apply + xs).
+  //
+  // Fixed-arity open-coded primitives get compiled eta-expansions; called
+  // primitives (and the n-ary arithmetic, via the hidden %+ %- %* prims)
+  // get hand-built variadic wrappers whose body is one PrimApplyVar.
+  struct EtaSpec {
+    std::string Name;
+    int Arity;
+  };
+  std::vector<EtaSpec> Etas;
+  static const char *FixedFastOps[] = {
+      "car", "cdr", "cons", "quotient", "remainder",
+      "<", "<=", ">", ">=", "=", "eq?", "null?", "pair?", "not",
+      "set-car!", "set-cdr!", "vector-ref", "vector-set!",
+      "vector-length"};
+  for (const char *Name : FixedFastOps) {
+    auto Fast = lookupFastOp(Name);
+    assert(Fast && "fast op missing from table");
+    Etas.push_back({Name, Fast->Arity});
+  }
+  Etas.push_back({"touch", 1});
+
+  for (const EtaSpec &W : Etas) {
+    std::string Params, Call;
+    for (int I = 0; I < W.Arity; ++I) {
+      Params += strFormat(" x%d", I);
+      Call += strFormat(" x%d", I);
+    }
+    std::string Src =
+        strFormat("(lambda (%s) (%s%s))", Params.c_str(), W.Name.c_str(),
+                  Call.c_str());
+    Reader Rd(Builder, Src);
+    ReadResult RR = Rd.read();
+    assert(RR.ok() && "wrapper source must parse");
+    Compiler::Result CR = TheCompiler.compile(RR.Datum);
+    assert(CR.ok() && "wrapper source must compile");
+    // The compiled top level is [Closure tpl 0; Return]; extract the
+    // template and build the (capture-free) closure in the static area.
+    const Insn *ClosureInsn = nullptr;
+    for (const Insn &I : CR.TopCode->Insns)
+      if (I.Opcode == Op::Closure) {
+        ClosureInsn = &I;
+        break;
+      }
+    assert(ClosureInsn && ClosureInsn->B == 0 && "unexpected wrapper shape");
+    Value Tpl =
+        CR.TopCode->Constants[static_cast<size_t>(ClosureInsn->A)];
+    Object *Clo = TheHeap.allocatePermanent(TypeTag::Closure, 1);
+    Clo->setSlot(0, Tpl);
+    Syms.intern(W.Name)->setGlobalValue(Value::object(Clo));
+  }
+
+  // Variadic wrappers. Names starting with % are internal and get no
+  // binding; + - * bind to the %-prefixed n-ary equivalents.
+  auto InstallVariadic = [&](const char *GlobalName, PrimId Id) {
+    Code *C = Registry.create(std::string(GlobalName) + "-wrapper");
+    C->Variadic = true;
+    C->MaxFrameWords = 8;
+    C->Insns.push_back(Insn{Op::PrimApplyVar, static_cast<int32_t>(Id), 0});
+    C->Insns.push_back(Insn{Op::Return, 0, 0});
+    Object *Clo = TheHeap.allocatePermanent(TypeTag::Closure, 1);
+    Clo->setSlot(0, Registry.templateFor(C));
+    Syms.intern(GlobalName)->setGlobalValue(Value::object(Clo));
+  };
+#define MULT_PRIM_WRAP(Id, Name, Min, Max, Cost)                               \
+  if ((Name)[0] != '%')                                                        \
+    InstallVariadic(Name, PrimId::Id);
+  MULT_PRIM_LIST(MULT_PRIM_WRAP)
+#undef MULT_PRIM_WRAP
+  InstallVariadic("+", PrimId::AddN);
+  InstallVariadic("-", PrimId::SubN);
+  InstallVariadic("*", PrimId::MulN);
+}
+
+void Engine::bootstrap() {
+  installPrimitiveWrappers();
+  if (!Cfg.LoadPrelude)
+    return;
+  Bootstrapping = true;
+  EvalResult R = eval(PreludeSource);
+  Bootstrapping = false;
+  if (!R.ok()) {
+    console() << "fatal: prelude failed to load: " << R.Error << '\n';
+    assert(false && "prelude failed to load");
+  }
+  takeOutput();
+  resetStats();
+}
+
+//===----------------------------------------------------------------------===//
+// Tasks and groups
+//===----------------------------------------------------------------------===//
+
+Task &Engine::task(TaskId Id) {
+  uint32_t Idx = taskIndex(Id);
+  assert(Idx < Tasks.size() && TaskGens[Idx] == taskGeneration(Id) &&
+         "stale task id");
+  return *Tasks[Idx];
+}
+
+Task *Engine::liveTask(TaskId Id) {
+  uint32_t Idx = taskIndex(Id);
+  if (Idx >= Tasks.size() || TaskGens[Idx] != taskGeneration(Id))
+    return nullptr;
+  Task *T = Tasks[Idx].get();
+  return T->State == TaskState::Done ? nullptr : T;
+}
+
+Group &Engine::group(GroupId Id) {
+  assert(Id < Groups.size() && "bad group id");
+  return Groups[Id];
+}
+
+Group *Engine::findGroup(GroupId Id) {
+  return Id < Groups.size() ? &Groups[Id] : nullptr;
+}
+
+TaskId Engine::newEmptyTask(GroupId G, unsigned Proc) {
+  uint32_t Idx;
+  if (!FreeTaskSlots.empty()) {
+    Idx = FreeTaskSlots.back();
+    FreeTaskSlots.pop_back();
+    ++TaskGens[Idx];
+  } else {
+    Idx = static_cast<uint32_t>(Tasks.size());
+    Tasks.push_back(std::make_unique<Task>());
+    TaskGens.push_back(0);
+  }
+  Task &T = *Tasks[Idx];
+  T.clearForRecycle();
+  T.Id = makeTaskId(Idx, TaskGens[Idx]);
+  T.Group = G;
+  T.State = TaskState::Ready;
+  T.LastProc = Proc;
+  if (G != InvalidGroup)
+    group(G).Members.push_back(T.Id);
+  return T.Id;
+}
+
+TaskId Engine::newTask(GroupId G, Value Closure, Value ResultFuture,
+                       Value DynEnv, unsigned Proc) {
+  TaskId Id = newEmptyTask(G, Proc);
+  Task &T = task(Id);
+  T.initForThunk(Id, G, Closure, ResultFuture, DynEnv, Proc);
+  ++Stats.TasksCreated;
+  if (G != InvalidGroup)
+    ++group(G).TasksCreated;
+  return Id;
+}
+
+void Engine::finishTask(Task &T) {
+  uint32_t Idx = taskIndex(T.Id);
+  T.clearForRecycle();
+  FreeTaskSlots.push_back(Idx);
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
+Object *Engine::tryAlloc(Processor &P, TypeTag Tag, uint32_t SizeWords,
+                         uint64_t &Cycles, uint8_t Flags) {
+  Heap::AllocResult R = TheHeap.allocate(P.Id, P.Clock, Tag, SizeWords, Flags);
+  Cycles += R.Cycles;
+  return R.Obj;
+}
+
+Object *Engine::allocOrGc(TypeTag Tag, uint32_t SizeWords, uint8_t Flags) {
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    Heap::AllocResult R = TheHeap.allocate(
+        0, TheMachine.processor(0).Clock, Tag, SizeWords, Flags);
+    TheMachine.processor(0).charge(R.Cycles);
+    if (R.Obj)
+      return R.Obj;
+    if (!collectGarbage())
+      return nullptr;
+  }
+  return nullptr;
+}
+
+bool Engine::collectGarbage() {
+  std::vector<uint64_t> Clocks = TheMachine.clocks();
+  bool Ok = TheGc.collect(*this, Clocks);
+  if (Ok)
+    TheMachine.setClocks(Clocks);
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// GC roots
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Root-segment partition sizes, cached between numRootSegments and the
+/// scanRootSegment calls of one collection.
+struct SegmentPlan {
+  unsigned StaticSegs = 1;
+  unsigned TaskSegs = 1;
+};
+SegmentPlan CurrentPlan;
+} // namespace
+
+unsigned Engine::numRootSegments() {
+  // Fine segmentation lets the collectors share root scanning: one
+  // segment should carry only a handful of user globals (the paper's
+  // static area was "divided into segments" for exactly this reason).
+  size_t StaticN = TheHeap.staticAreaSize();
+  size_t TaskN = Tasks.size();
+  CurrentPlan.StaticSegs = static_cast<unsigned>(
+      std::clamp<size_t>(StaticN / 48, 1, 256));
+  CurrentPlan.TaskSegs =
+      static_cast<unsigned>(std::clamp<size_t>(TaskN / 16, 1, 128));
+  return CurrentPlan.StaticSegs + CurrentPlan.TaskSegs + 1;
+}
+
+void Engine::scanTask(Task &T, const RootVisitor &Visit) {
+  for (Value &V : T.Stack)
+    Visit(V);
+  Visit(T.BlockedOn);
+  Visit(T.DynEnv);
+  Visit(T.ResultFuture);
+  Visit(T.WakeValue);
+  for (Frame &F : T.Frames)
+    Visit(F.SeamFuture);
+}
+
+void Engine::scanRootSegment(unsigned Segment, const RootVisitor &Visit) {
+  if (Segment < CurrentPlan.StaticSegs) {
+    auto [Begin, End] =
+        TheHeap.staticAreaSegment(Segment, CurrentPlan.StaticSegs);
+    for (size_t I = Begin; I < End; ++I) {
+      Object *O = TheHeap.staticAreaObject(I);
+      for (uint32_t K = 0, N = O->sizeWords(); K < N; ++K) {
+        Value V = O->slot(K);
+        Visit(V);
+        O->setSlot(K, V);
+      }
+    }
+    return;
+  }
+  Segment -= CurrentPlan.StaticSegs;
+  if (Segment < CurrentPlan.TaskSegs) {
+    size_t N = Tasks.size();
+    size_t Begin = N * Segment / CurrentPlan.TaskSegs;
+    size_t End = N * (Segment + 1) / CurrentPlan.TaskSegs;
+    for (size_t I = Begin; I < End; ++I)
+      scanTask(*Tasks[I], Visit);
+    return;
+  }
+  // Miscellaneous engine roots.
+  Visit(RootFuture);
+  for (Group &G : Groups)
+    Visit(G.RootFuture);
+}
+
+void Engine::scanProcessorRoots(unsigned Proc, const RootVisitor &Visit) {
+  Processor &P = TheMachine.processor(Proc);
+  if (P.Current == InvalidTask)
+    return;
+  scanTask(task(P.Current), Visit);
+}
+
+//===----------------------------------------------------------------------===//
+// Group stop / resume / kill
+//===----------------------------------------------------------------------===//
+
+void Engine::stopGroup(Processor &P, Task &T, std::string Condition,
+                       uint32_t StopPop) {
+  Group &G = group(T.Group);
+  T.State = TaskState::Stopped;
+  T.StopCondition = Condition;
+  T.StopPop = StopPop;
+  if (G.State == GroupState::Running) {
+    G.State = GroupState::Stopped;
+    G.CurrentTask = T.Id;
+    G.Condition = Condition;
+    StoppedStack.push_back(G.Id);
+  }
+  LastStopped = G.Id;
+
+  // The per-processor exception-handler server task runs (paper
+  // section 2.3): it coordinates with the scheduler so no other task of
+  // the group runs, then hands the terminal to the terminal server.
+  // Members currently on a processor are suspended right here; queued
+  // members are parked lazily when a dispatch pops them.
+  for (unsigned I = 0; I < TheMachine.numProcessors(); ++I) {
+    Processor &Other = TheMachine.processor(I);
+    if (Other.Current == InvalidTask || Other.Current == T.Id)
+      continue;
+    Task *Sibling = liveTask(Other.Current);
+    if (!Sibling || Sibling->Group != T.Group)
+      continue;
+    Sibling->State = TaskState::Stopped;
+    G.Parked.push_back(Sibling->Id);
+    Other.Current = InvalidTask;
+  }
+  ++P.HandlerActivations;
+  P.charge(cost::GroupStop);
+  P.charge(TermLock.acquire(P.Clock, cost::TerminalLockHold));
+}
+
+std::vector<GroupId> Engine::stoppedGroups() const {
+  std::vector<GroupId> Out;
+  for (const Group &G : Groups)
+    if (G.State == GroupState::Stopped)
+      Out.push_back(G.Id);
+  return Out;
+}
+
+EvalResult Engine::resumeGroup(GroupId Id, Value ResumeValue) {
+  EvalResult R;
+  Group *G = findGroup(Id);
+  if (!G || G->State != GroupState::Stopped) {
+    R.K = EvalResult::Kind::RuntimeError;
+    R.Error = "resume: group is not stopped";
+    return R;
+  }
+
+  // Resume the signalling task: the erring operation completes with the
+  // user-supplied value.
+  if (Task *T = Tasks[taskIndex(G->CurrentTask)].get();
+      T && T->Id == G->CurrentTask && T->State == TaskState::Stopped) {
+    T->HasWakeAction = true;
+    T->WakePop = T->StopPop;
+    T->WakeValue = ResumeValue;
+    T->State = TaskState::Ready;
+    TheMachine.processor(T->LastProc)
+        .Queues.pushSuspended(T->Id, TheMachine.processor(T->LastProc).Clock);
+  }
+  for (TaskId Parked : G->Parked) {
+    if (Task *T = liveTask(Parked); T && T->State == TaskState::Stopped) {
+      T->State = TaskState::Ready;
+      TheMachine.processor(T->LastProc)
+          .Queues.pushSuspended(T->Id,
+                                TheMachine.processor(T->LastProc).Clock);
+    }
+  }
+  G->Parked.clear();
+  G->State = GroupState::Running;
+  StoppedStack.erase(
+      std::remove(StoppedStack.begin(), StoppedStack.end(), Id),
+      StoppedStack.end());
+
+  beginRun(G->RootFuture, Id);
+  RunResult RR = TheMachine.run(*this, G->RootFuture);
+  return translateRunResult(RR, Id);
+}
+
+void Engine::killGroup(GroupId Id) {
+  Group *G = findGroup(Id);
+  if (!G || G->State == GroupState::Killed)
+    return;
+  G->State = GroupState::Killed;
+  for (TaskId Member : G->Members) {
+    uint32_t Idx = taskIndex(Member);
+    if (Idx >= Tasks.size() || TaskGens[Idx] != taskGeneration(Member))
+      continue;
+    Task &T = *Tasks[Idx];
+    if (T.State == TaskState::Done)
+      continue;
+    // Detach from any processor.
+    for (unsigned P = 0; P < TheMachine.numProcessors(); ++P)
+      if (TheMachine.processor(P).Current == Member)
+        TheMachine.processor(P).Current = InvalidTask;
+    finishTask(T);
+  }
+  G->Parked.clear();
+  StoppedStack.erase(
+      std::remove(StoppedStack.begin(), StoppedStack.end(), Id),
+      StoppedStack.end());
+}
+
+std::string Engine::backtrace(TaskId Id) {
+  uint32_t Idx = taskIndex(Id);
+  if (Idx >= Tasks.size() || TaskGens[Idx] != taskGeneration(Id))
+    return "<dead task>\n";
+  Task &T = *Tasks[Idx];
+  std::string Out;
+  StringOutStream OS(Out);
+  if (T.CurCode)
+    OS << "  in " << T.CurCode->Name << " (pc " << T.Pc << ")\n";
+  for (size_t I = T.Frames.size(); I > T.BaseFrame; --I) {
+    const Frame &F = T.Frames[I - 1];
+    if (F.CallerCode)
+      OS << "  called from " << F.CallerCode->Name << " (pc " << F.RetPc
+         << ")" << (F.IsSeam ? " [seam]" : "") << "\n";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+void Engine::beginRun(Value Root, GroupId RootGroup) {
+  RootFuture = Root;
+  RootGroupId = RootGroup;
+  RootClock = 0;
+  RootDone = Root.isFuture() ? Root.pointee()->futureResolved() : true;
+  if (RootDone)
+    RootClock = TheMachine.processor(0).Clock;
+}
+
+Value Engine::rootValue() const {
+  Value V = RootFuture;
+  while (V.isFuture() && V.pointee()->futureResolved())
+    V = V.pointee()->futureValue();
+  return V;
+}
+
+EvalResult Engine::translateRunResult(const RunResult &RR, GroupId G) {
+  EvalResult R;
+  switch (RR.Status) {
+  case RunStatus::Completed:
+    R.K = EvalResult::Kind::Value;
+    R.Val = RR.Result;
+    group(G).State = GroupState::Done;
+    return R;
+  case RunStatus::GroupStopped:
+    R.K = EvalResult::Kind::RuntimeError;
+    R.Error = RR.Error;
+    R.StoppedGroup = RR.StoppedGroup;
+    return R;
+  case RunStatus::Deadlock:
+    R.K = EvalResult::Kind::Deadlock;
+    R.Error = RR.Error;
+    return R;
+  case RunStatus::HeapExhausted:
+    R.K = EvalResult::Kind::HeapExhausted;
+    R.Error = RR.Error;
+    return R;
+  case RunStatus::CycleLimit:
+    R.K = EvalResult::Kind::CycleLimit;
+    R.Error = RR.Error;
+    return R;
+  }
+  R.K = EvalResult::Kind::RuntimeError;
+  R.Error = "unknown run status";
+  return R;
+}
+
+EvalResult Engine::runTopLevel(Code *TopCode, std::string_view Banner) {
+  EvalResult R;
+
+  // Group for this top-level expression.
+  GroupId Gid = static_cast<GroupId>(Groups.size());
+  Groups.emplace_back();
+  Group &G = Groups.back();
+  G.Id = Gid;
+  G.Banner = std::string(Banner);
+  G.Internal = Bootstrapping;
+
+  // Root closure and future (GC-safe: the closure is protected via the
+  // group's RootFuture only after both allocations, so allocate the
+  // future first and keep the closure in a scanned slot).
+  Object *Fut = allocOrGc(TypeTag::Future, Object::FutureSizeWords);
+  if (!Fut) {
+    R.K = EvalResult::Kind::HeapExhausted;
+    R.Error = "heap exhausted allocating root future";
+    return R;
+  }
+  Fut->setSlot(Object::FutState, Value::fixnum(0));
+  Fut->setSlot(Object::FutValue, Value::unspecified());
+  Fut->setSlot(Object::FutWaiters, Value::nil());
+  Fut->setSlot(Object::FutTaskId, Value::fixnum(0));
+  Fut->setSlot(Object::FutGroupId, Value::fixnum(Gid));
+  G.RootFuture = Value::future(Fut);
+
+  Object *Clo = allocOrGc(TypeTag::Closure, 1);
+  if (!Clo) {
+    R.K = EvalResult::Kind::HeapExhausted;
+    R.Error = "heap exhausted allocating root closure";
+    return R;
+  }
+  Clo->setSlot(0, Registry.templateFor(TopCode));
+  // Re-read the future: allocating the closure may have collected.
+  Fut = G.RootFuture.pointee();
+
+  TaskId Root = newTask(Gid, Value::object(Clo), G.RootFuture,
+                        Value::nil(), 0);
+  Fut->setSlot(Object::FutTaskId,
+               Value::fixnum(static_cast<int64_t>(taskIndex(Root))));
+
+  Processor &P0 = TheMachine.processor(0);
+  P0.charge(P0.Queues.pushNew(Root, P0.Clock));
+
+  beginRun(G.RootFuture, Gid);
+  RunResult RR = TheMachine.run(*this, G.RootFuture);
+  return translateRunResult(RR, Gid);
+}
+
+EvalResult Engine::evalDatum(Value Form, std::string_view Banner) {
+  Compiler::Result CR = TheCompiler.compile(Form);
+  if (!CR.ok()) {
+    EvalResult R;
+    R.K = EvalResult::Kind::CompileError;
+    R.Error = CR.Error;
+    return R;
+  }
+  std::string Text =
+      Banner.empty() ? valueToString(Form) : std::string(Banner);
+  if (Text.size() > 60)
+    Text.resize(60);
+  return runTopLevel(CR.TopCode, Text);
+}
+
+EvalResult Engine::eval(std::string_view Source) {
+  Reader Rd(Builder, Source);
+  std::string Err;
+  std::vector<Value> Forms = Rd.readAll(Err);
+  if (!Err.empty()) {
+    EvalResult R;
+    R.K = EvalResult::Kind::ReadError;
+    R.Error = Err;
+    return R;
+  }
+  TheCompiler.prescanDefines(Forms);
+
+  EvalResult Last;
+  for (Value F : Forms) {
+    Last = evalDatum(F);
+    if (!Last.ok())
+      return Last;
+  }
+  return Last;
+}
+
+std::string Engine::takeOutput() {
+  std::string Out = std::move(ConsoleBuf);
+  ConsoleBuf.clear();
+  return Out;
+}
+
+void Engine::resetStats() {
+  // Compile stats are properties of the loaded program, not of a run;
+  // they survive resets (benchmarks reset between timed runs).
+  Stats = EngineStats();
+  TheGc.resetStats();
+  for (unsigned I = 0; I < TheMachine.numProcessors(); ++I) {
+    Processor &P = TheMachine.processor(I);
+    P.BusyCycles = 0;
+    P.IdleCycles = 0;
+    P.Instructions = 0;
+    P.Dispatches = 0;
+    P.Steals = 0;
+    P.TasksStarted = 0;
+    P.HandlerActivations = 0;
+  }
+}

@@ -1,0 +1,263 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Mul-T engine: the public API of the library.
+///
+/// An Engine owns the heap, the symbol table, the compiler, the virtual
+/// multiprocessor, the task/group registries and the collector, and exposes
+/// `eval` plus group management (the paper's user-interface layer builds on
+/// this). Construct one Engine per simulated machine; it is not
+/// thread-safe (the multiprocessor is simulated in virtual time).
+///
+/// Typical use:
+/// \code
+///   mult::EngineConfig Cfg;
+///   Cfg.NumProcessors = 8;
+///   Cfg.InlineThreshold = 1; // the paper's T
+///   mult::Engine E(Cfg);
+///   auto R = E.eval("(touch (future (+ 1 2)))");
+///   // R.Val is fixnum 3; E.stats() has cycle counts.
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_CORE_ENGINE_H
+#define MULT_CORE_ENGINE_H
+
+#include "compiler/CodeGen.h"
+#include "core/Group.h"
+#include "core/Stats.h"
+#include "core/Task.h"
+#include "runtime/Gc.h"
+#include "runtime/Heap.h"
+#include "runtime/SymbolTable.h"
+#include "sched/Machine.h"
+#include "support/OutStream.h"
+#include "support/Prng.h"
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mult {
+
+/// Construction-time configuration of a simulated Mul-T machine.
+struct EngineConfig {
+  /// Number of virtual processors (the Multimax had up to 20).
+  unsigned NumProcessors = 1;
+  /// The inlining threshold T of paper section 3: a processor evaluates a
+  /// future inline when its queues already hold >= T tasks. nullopt means
+  /// T = infinity (never inline); 0 means always inline.
+  std::optional<unsigned> InlineThreshold;
+  /// Lazy futures (paper section 3's proposed mechanism): provisionally
+  /// inline every future; idle processors may retroactively split the
+  /// parent off as a real task.
+  bool LazyFutures = false;
+  /// Compile implicit touches for strict operations. false = "T3 mode",
+  /// the sequential baseline of Table 2.
+  bool EmitTouchChecks = true;
+  /// Run the first-order type analysis that removes redundant touches.
+  bool OptimizeTouches = true;
+  /// Compile known primitive names to open-coded/called primitives.
+  bool IntegratePrims = true;
+
+  size_t HeapWords = size_t(1) << 22;
+  size_t ChunkWords = 4096;
+  size_t LargeObjectWords = 512;
+  /// Per-task stack limit, enforced by the procedure-entry check.
+  size_t MaxStackWords = size_t(1) << 20;
+
+  uint64_t RandomSeed = 0x4d756c54; // "MulT"
+  /// Timeslice granularity of the virtual-time interleaving.
+  uint64_t QuantumCycles = 64;
+  /// Safety net against runaway programs; ~0 = unlimited.
+  uint64_t MaxRunCycles = ~uint64_t(0);
+  StealOrder StealPolicy = StealOrder::Lifo;
+  /// Load the Lisp prelude at construction (tests may disable).
+  bool LoadPrelude = true;
+};
+
+/// Result of Engine::eval and friends.
+struct EvalResult {
+  enum class Kind : uint8_t {
+    Value,
+    ReadError,
+    CompileError,
+    RuntimeError, ///< A group stopped on an exception.
+    Deadlock,
+    HeapExhausted,
+    CycleLimit,
+  };
+  Kind K = Kind::Value;
+  Value Val = Value::unspecified();
+  std::string Error;
+  GroupId StoppedGroup = InvalidGroup;
+
+  bool ok() const { return K == Kind::Value; }
+};
+
+/// The engine.
+class Engine final : public GcClient {
+public:
+  explicit Engine(const EngineConfig &Config = EngineConfig());
+  ~Engine() override;
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// \name Evaluation
+  /// @{
+  /// Reads and evaluates every form in \p Source; returns the last value.
+  /// Each top-level form runs as its own group.
+  EvalResult eval(std::string_view Source);
+  /// Evaluates one already-read datum.
+  EvalResult evalDatum(Value Form, std::string_view Banner = "");
+  /// @}
+
+  /// \name Group management (the UI layer of paper section 2.3)
+  /// @{
+  const std::vector<Group> &allGroups() const { return Groups; }
+  Group *findGroup(GroupId Id);
+  std::vector<GroupId> stoppedGroups() const;
+  /// Resumes a stopped group; \p ResumeValue becomes the value of the
+  /// erring operation in the signalling task.
+  EvalResult resumeGroup(GroupId Id, Value ResumeValue);
+  void killGroup(GroupId Id);
+  /// Most recently stopped group (the UI's "current group").
+  GroupId currentStoppedGroup() const {
+    return StoppedStack.empty() ? InvalidGroup : StoppedStack.back();
+  }
+  /// Renders a backtrace of \p T (frame names, innermost first).
+  std::string backtrace(TaskId T);
+  /// @}
+
+  /// \name Output
+  /// @{
+  /// Returns and clears everything the program printed.
+  std::string takeOutput();
+  /// @}
+
+  /// \name Statistics
+  /// @{
+  EngineStats &stats() { return Stats; }
+  const Gc::Stats &gcStats() const { return TheGc.stats(); }
+  const CompileStats &compileStats() const { return TheCompiler.stats(); }
+  void resetStats();
+  /// @}
+
+  /// \name Internals used by the VM, scheduler and primitives
+  /// @{
+  const EngineConfig &config() const { return Cfg; }
+  Heap &heap() { return TheHeap; }
+  SymbolTable &symbols() { return Syms; }
+  DatumBuilder &builder() { return Builder; }
+  Compiler &compiler() { return TheCompiler; }
+  Machine &machine() { return TheMachine; }
+  Prng &prng() { return Rng; }
+  OutStream &console() { return ConsoleStream; }
+  VirtualLock &terminalLock() { return TermLock; }
+
+  /// Allocates a collectable object on behalf of \p P, adding the cycle
+  /// charge to \p Cycles. Null means: request a GC and retry the
+  /// instruction.
+  Object *tryAlloc(Processor &P, TypeTag Tag, uint32_t SizeWords,
+                   uint64_t &Cycles, uint8_t Flags = 0);
+
+  Task &task(TaskId Id);
+  /// Null if the id's generation is stale or the task is Done.
+  Task *liveTask(TaskId Id);
+  Group &group(GroupId Id);
+  /// Creates (or recycles) a task running \p Closure.
+  TaskId newTask(GroupId G, Value Closure, Value ResultFuture, Value DynEnv,
+                 unsigned Proc);
+  /// Marks \p T done and recycles its slot.
+  void finishTask(Task &T);
+  size_t taskSlotCount() const { return Tasks.size(); }
+
+  /// Lazy-future seam registry, oldest first.
+  std::deque<SeamRef> &seams() { return Seams; }
+  /// Next seam serial number (lazy-future bookkeeping).
+  uint64_t nextSeamSerial() { return ++SeamSerialCounter; }
+  /// Creates an empty task shell (lazy-future split fills it manually).
+  TaskId newEmptyTask(GroupId G, unsigned Proc);
+
+  /// Signals an exception in \p T: stops its whole group (paper
+  /// section 2.3), running the per-processor exception-handler server task
+  /// and the terminal server in virtual time.
+  void stopGroup(Processor &P, Task &T, std::string Condition,
+                 uint32_t StopPop);
+  GroupId lastStoppedGroup() const { return LastStopped; }
+
+  /// \name Root-future tracking for Machine::run
+  /// @{
+  void beginRun(Value RootFuture, GroupId RootGroup);
+  bool rootResolved() const { return RootDone; }
+  void noteRootResolved(uint64_t Clock) {
+    RootDone = true;
+    RootClock = Clock;
+  }
+  Object *rootFutureObject() const {
+    return RootFuture.isFuture() ? RootFuture.pointee() : nullptr;
+  }
+  Value rootValue() const;
+  uint64_t rootResolvedClock() const { return RootClock; }
+  GroupId rootGroup() const { return RootGroupId; }
+  /// @}
+
+  /// Runs a collection now; false means the heap is truly exhausted.
+  bool collectGarbage();
+
+  /// GcClient interface.
+  unsigned numRootSegments() override;
+  void scanRootSegment(unsigned Segment, const RootVisitor &Visit) override;
+  void scanProcessorRoots(unsigned Proc, const RootVisitor &Visit) override;
+  /// @}
+
+private:
+  /// Loads the Lisp prelude and installs closure wrappers for primitives
+  /// so primitive names work as first-class values.
+  void bootstrap();
+  void installPrimitiveWrappers();
+  EvalResult runTopLevel(Code *TopCode, std::string_view Banner);
+  EvalResult translateRunResult(const RunResult &R, GroupId G);
+  /// Allocation that retries after GC; for setup paths outside the VM.
+  Object *allocOrGc(TypeTag Tag, uint32_t SizeWords, uint8_t Flags = 0);
+  void scanTask(Task &T, const RootVisitor &Visit);
+
+  EngineConfig Cfg;
+  Heap TheHeap;
+  SymbolTable Syms;
+  DatumBuilder Builder;
+  CodeRegistry Registry;
+  Compiler TheCompiler;
+  Gc TheGc;
+  Machine TheMachine;
+  Prng Rng;
+
+  std::vector<std::unique_ptr<Task>> Tasks;
+  std::vector<uint32_t> TaskGens;
+  std::vector<uint32_t> FreeTaskSlots;
+  std::vector<Group> Groups;
+  std::deque<SeamRef> Seams;
+  uint64_t SeamSerialCounter = 0;
+
+  EngineStats Stats;
+
+  std::string ConsoleBuf;
+  StringOutStream ConsoleStream{ConsoleBuf};
+  VirtualLock TermLock;
+
+  Value RootFuture = Value::nil();
+  GroupId RootGroupId = InvalidGroup;
+  bool RootDone = false;
+  uint64_t RootClock = 0;
+  GroupId LastStopped = InvalidGroup;
+  std::vector<GroupId> StoppedStack;
+  bool Bootstrapping = false;
+};
+
+} // namespace mult
+
+#endif // MULT_CORE_ENGINE_H

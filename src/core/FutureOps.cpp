@@ -1,0 +1,166 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FutureOps implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/FutureOps.h"
+
+#include "core/Engine.h"
+#include "core/LazyFutures.h"
+#include "vm/CostModel.h"
+
+#include <cassert>
+
+using namespace mult;
+
+bool futureops::chase(Value V, Value &Out, Object *&Unresolved,
+                      uint64_t &Cycles) {
+  while (V.isFuture()) {
+    Object *F = V.pointee();
+    if (!F->futureResolved()) {
+      Unresolved = F;
+      return false;
+    }
+    V = F->futureValue();
+    Cycles += cost::TouchChase;
+  }
+  Out = V;
+  return true;
+}
+
+/// Enters the thunk on top of T's stack as an ordinary call (the inline
+/// and lazy paths). Returns the index of the new frame.
+static uint32_t enterThunk(Task &T) {
+  assert(!T.Stack.empty() && "thunk missing");
+  Frame F;
+  F.CallerCode = T.CurCode;
+  F.RetPc = T.Pc + 1;
+  F.Base = static_cast<uint32_t>(T.Stack.size() - 1);
+  T.Frames.push_back(F);
+  Value Thunk = T.Stack.back();
+  assert(Thunk.isObject() && Thunk.asObject()->tag() == TypeTag::Closure &&
+         "future thunk must be a closure");
+  T.CurCode = Thunk.asObject()->closureCode();
+  T.Pc = 0;
+  return static_cast<uint32_t>(T.Frames.size() - 1);
+}
+
+bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
+  const EngineConfig &Cfg = E.config();
+
+  // Lazy futures: provisionally inline everything, leave a seam.
+  if (Cfg.LazyFutures) {
+    uint32_t FrameIdx = enterThunk(T);
+    lazyfutures::noteSeam(E, T, FrameIdx);
+    P.charge(cost::LazySeamPush);
+    E.stats().Steps.MakeThunkCycles += cost::LazySeamPush;
+    return true;
+  }
+
+  // Inlining threshold (paper section 3): with >= T tasks already queued
+  // on this processor there is no point creating another.
+  if (Cfg.InlineThreshold &&
+      P.Queues.depth() >= *Cfg.InlineThreshold) {
+    enterThunk(T);
+    P.charge(cost::FutureInline);
+    ++E.stats().TasksInlined;
+    return true;
+  }
+
+  // Real future + child task (Table 1 step 2).
+  uint64_t Cycles = 0;
+  Object *Fut = E.tryAlloc(P, TypeTag::Future, Object::FutureSizeWords, Cycles);
+  if (!Fut) {
+    P.charge(Cycles);
+    return false; // NeedsGc; FutureOp re-runs.
+  }
+  Fut->setSlot(Object::FutState, Value::fixnum(0));
+  Fut->setSlot(Object::FutValue, Value::unspecified());
+  Fut->setSlot(Object::FutWaiters, Value::nil());
+  Fut->setSlot(Object::FutGroupId, Value::fixnum(T.Group));
+
+  Value Thunk = T.Stack.back();
+  T.Stack.pop_back();
+  TaskId Child =
+      E.newTask(T.Group, Thunk, Value::future(Fut), T.DynEnv, P.Id);
+  Fut->setSlot(Object::FutTaskId,
+               Value::fixnum(static_cast<int64_t>(taskIndex(Child))));
+
+  Cycles += cost::FutureCreateBase + cost::TaskStackSetup;
+  Cycles += P.Queues.pushNew(Child, P.Clock + Cycles);
+  P.charge(Cycles);
+  E.stats().Steps.CreateEnqueueCycles += Cycles;
+  ++E.stats().FuturesCreated;
+
+  T.Stack.push_back(Value::future(Fut));
+  ++T.Pc;
+  return true;
+}
+
+bool futureops::blockOnFuture(Engine &E, Processor &P, Task &T, Object *Fut) {
+  assert(!Fut->futureResolved() && "blocking on a resolved future");
+  uint64_t Cycles = 0;
+  Object *WaiterCell = E.tryAlloc(P, TypeTag::Pair, 2, Cycles);
+  if (!WaiterCell) {
+    P.charge(Cycles);
+    return false;
+  }
+  WaiterCell->setCar(Value::fixnum(static_cast<int64_t>(T.Id)));
+  WaiterCell->setCdr(Fut->futureWaiters());
+  Fut->setSlot(Object::FutWaiters, Value::object(WaiterCell));
+
+  T.State = TaskState::BlockedFuture;
+  T.BlockedOn = Value::future(Fut);
+
+  Cycles += cost::BlockBase;
+  P.charge(Cycles);
+  E.stats().Steps.BlockCycles += Cycles + cost::Touch;
+  ++E.stats().TouchesBlocked;
+  return true;
+}
+
+void futureops::resolveFuture(Engine &E, Processor &P, Object *Fut,
+                              Value Result) {
+  assert(!Fut->futureResolved() && "double resolve");
+  Value Waiters = Fut->futureWaiters();
+  Fut->resolveFutureSlots(Result);
+
+  uint64_t Cycles = cost::ResolveBase;
+  unsigned Woken = 0;
+  for (Value W = Waiters; !W.isNil(); W = W.asObject()->cdr()) {
+    auto Id = static_cast<TaskId>(W.asObject()->car().asFixnum());
+    Task *Waiter = E.liveTask(Id);
+    if (!Waiter || Waiter->State != TaskState::BlockedFuture)
+      continue;
+    if (!Waiter->BlockedOn.isPointer() || Waiter->BlockedOn.pointee() != Fut)
+      continue;
+    Waiter->State = TaskState::Ready;
+    Waiter->BlockedOn = Value::nil();
+    // Paper: woken tasks go to the suspended queue of the processor they
+    // were running on when they blocked.
+    Processor &Home = E.machine().processor(Waiter->LastProc);
+    Cycles += Home.Queues.pushSuspended(Id, P.Clock + Cycles);
+    Cycles += cost::ResolveWaiter;
+    ++Woken;
+  }
+  (void)Woken;
+  P.charge(Cycles);
+
+  if (E.rootFutureObject() == Fut) {
+    E.noteRootResolved(P.Clock);
+  } else {
+    E.stats().Steps.ResolveCycles += Cycles;
+    ++E.stats().FuturesResolved;
+  }
+}
+
+void futureops::taskFinished(Engine &E, Processor &P, Task &T, Value Result) {
+  P.charge(cost::TaskFinish);
+  if (T.ResultFuture.isFuture() &&
+      !T.ResultFuture.pointee()->futureResolved())
+    resolveFuture(E, P, T.ResultFuture.pointee(), Result);
+  ++E.stats().TasksCompleted;
+  E.finishTask(T);
+}

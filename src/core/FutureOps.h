@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime side of `future` and `touch` (paper sections 1.1, 3, 4).
+///
+/// onFutureOp implements `*future`: depending on configuration it creates
+/// a real future + child task (charging the Table-1 step-2 cost), inlines
+/// the call when the processor's queue depth reaches the threshold T, or
+/// provisionally inlines with a seam in lazy-future mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_CORE_FUTUREOPS_H
+#define MULT_CORE_FUTUREOPS_H
+
+#include "core/Task.h"
+#include "runtime/Object.h"
+
+namespace mult {
+
+class Engine;
+struct Processor;
+
+namespace futureops {
+
+/// Executes the FutureOp instruction; the thunk closure is on top of
+/// \p T's stack. Advances T.Pc itself. Returns false when an allocation
+/// failed (caller returns NeedsGc; the instruction will re-run).
+bool onFutureOp(Engine &E, Processor &P, Task &T);
+
+/// Resolves \p Fut with \p Result and moves every waiting task to the
+/// suspended queue of the processor it last ran on (Table 1 step 5).
+void resolveFuture(Engine &E, Processor &P, Object *Fut, Value Result);
+
+/// Blocks \p T on unresolved \p Fut (Table 1 step 3): enqueue on the
+/// future's waiter list, mark BlockedFuture. Returns false on allocation
+/// failure (NeedsGc; retry).
+bool blockOnFuture(Engine &E, Processor &P, Task &T, Object *Fut);
+
+/// A task's outermost return: resolve its result future, mark it done.
+void taskFinished(Engine &E, Processor &P, Task &T, Value Result);
+
+/// Chases future indirections. If the chain ends in an unresolved future,
+/// returns false with \p Unresolved set; otherwise true with \p Out set.
+/// Charges chase cycles to \p Cycles.
+bool chase(Value V, Value &Out, Object *&Unresolved, uint64_t &Cycles);
+
+} // namespace futureops
+} // namespace mult
+
+#endif // MULT_CORE_FUTUREOPS_H

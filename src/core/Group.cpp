@@ -1,0 +1,24 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Group helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Group.h"
+
+using namespace mult;
+
+const char *mult::groupStateName(GroupState S) {
+  switch (S) {
+  case GroupState::Running:
+    return "running";
+  case GroupState::Stopped:
+    return "stopped";
+  case GroupState::Done:
+    return "done";
+  case GroupState::Killed:
+    return "killed";
+  }
+  return "unknown";
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lazy futures: revocable inlining (paper section 3).
+///
+/// In lazy mode every `(future X)` is provisionally inlined: the child
+/// executes on the parent's stack, with a *seam* frame marking where the
+/// parent continuation begins. An idle processor may *steal* the oldest
+/// seam in the machine: it packages the stack below the seam as a new task
+/// (the parent continuation), creates a real future for the child's value,
+/// and resumes the parent elsewhere — "unwelding" a blocked (or even
+/// running) child from its parent, which also defuses the
+/// inlining-deadlock example of section 3. When no one steals, the child
+/// returns through the seam at essentially inline cost and no future is
+/// ever created.
+///
+/// The paper proposes the mechanism but left it unimplemented in Mul-T
+/// ("we hope to report on it after further work"); this module is the
+/// reproduction's implementation of that proposal, following the
+/// lazy-task-creation design Mohr later published.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_CORE_LAZYFUTURES_H
+#define MULT_CORE_LAZYFUTURES_H
+
+#include "core/Task.h"
+
+namespace mult {
+
+class Engine;
+struct Processor;
+
+namespace lazyfutures {
+
+/// Registers the just-pushed frame \p FrameIdx of \p T as a seam.
+void noteSeam(Engine &E, Task &T, uint32_t FrameIdx);
+
+/// Result of a steal attempt.
+struct StealResult {
+  enum class Kind : uint8_t { Stolen, Nothing, NeedsGc } K;
+  TaskId NewTask = InvalidTask;
+};
+
+/// Attempts to steal the oldest seam in the machine on behalf of idle
+/// processor \p P. On success the returned task is the parent
+/// continuation, ready to run.
+StealResult trySteal(Engine &E, Processor &P);
+
+/// Handles a Return that pops seam frame \p F with \p Result.
+/// Returns true when the task ends here (the seam was stolen and the
+/// future has been resolved); false to continue the normal return path.
+bool onSeamReturn(Engine &E, Processor &P, Task &T, Frame &F, Value Result);
+
+} // namespace lazyfutures
+} // namespace mult
+
+#endif // MULT_CORE_LAZYFUTURES_H

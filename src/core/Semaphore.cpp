@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semaphore implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Semaphore.h"
+
+#include "core/Engine.h"
+#include "vm/CostModel.h"
+
+using namespace mult;
+
+sem::POutcome sem::p(Engine &E, Processor &P, Task &T, Object *Sem) {
+  if (Sem->semaphoreCount() > 0) {
+    Sem->setSemaphoreCount(Sem->semaphoreCount() - 1);
+    P.charge(3);
+    return POutcome::Acquired;
+  }
+
+  // Append to the waiter list (FIFO: V wakes the longest waiter).
+  uint64_t Cycles = 0;
+  Object *Cell = E.tryAlloc(P, TypeTag::Pair, 2, Cycles);
+  if (!Cell) {
+    P.charge(Cycles);
+    return POutcome::NeedsGc;
+  }
+  Cell->setCar(Value::fixnum(static_cast<int64_t>(T.Id)));
+  Cell->setCdr(Value::nil());
+  Value Waiters = Sem->slot(Object::SemWaiters);
+  if (Waiters.isNil()) {
+    Sem->setSlot(Object::SemWaiters, Value::object(Cell));
+  } else {
+    Object *Last = Waiters.asObject();
+    while (!Last->cdr().isNil())
+      Last = Last->cdr().asObject();
+    Last->setCdr(Value::object(Cell));
+  }
+
+  T.State = TaskState::BlockedSemaphore;
+  T.BlockedOn = Value::object(Sem);
+  P.charge(Cycles + cost::BlockBase);
+  return POutcome::Blocked;
+}
+
+void sem::v(Engine &E, Processor &P, Object *Sem) {
+  Value Waiters = Sem->slot(Object::SemWaiters);
+  while (!Waiters.isNil()) {
+    Object *Cell = Waiters.asObject();
+    Waiters = Cell->cdr();
+    Sem->setSlot(Object::SemWaiters, Waiters);
+    auto Id = static_cast<TaskId>(Cell->car().asFixnum());
+    Task *Waiter = E.liveTask(Id);
+    if (!Waiter || Waiter->State != TaskState::BlockedSemaphore)
+      continue; // stale (task killed); try the next waiter
+    if (!Waiter->BlockedOn.isObject() || Waiter->BlockedOn.asObject() != Sem)
+      continue;
+    // Complete the waiter's semaphore-p call: pop the semaphore argument,
+    // push the result, advance past CallPrim.
+    Waiter->State = TaskState::Ready;
+    Waiter->BlockedOn = Value::nil();
+    Waiter->HasWakeAction = true;
+    Waiter->WakePop = 1;
+    Waiter->WakeValue = Value::trueV();
+    Processor &Home = E.machine().processor(Waiter->LastProc);
+    P.charge(Home.Queues.pushSuspended(Id, P.Clock) + 4);
+    return;
+  }
+  Sem->setSemaphoreCount(Sem->semaphoreCount() + 1);
+  P.charge(3);
+}

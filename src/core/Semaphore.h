@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semaphores: `make-semaphore`, `semaphore-p`, `semaphore-v`.
+///
+/// These are the primitives of the paper's section-3 deadlock example:
+/// under plain inlining a welded child blocking on P with the V in the
+/// parent deadlocks; under lazy futures the parent can be unwelded and run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_CORE_SEMAPHORE_H
+#define MULT_CORE_SEMAPHORE_H
+
+#include "core/Task.h"
+#include "runtime/Object.h"
+
+namespace mult {
+
+class Engine;
+struct Processor;
+
+namespace sem {
+
+/// Result of a P operation.
+enum class POutcome : uint8_t {
+  Acquired, ///< Count was positive; decremented.
+  Blocked,  ///< Task enqueued on the semaphore; it will be woken by V.
+  NeedsGc,  ///< Waiter-cell allocation failed; retry after GC.
+};
+
+/// P (wait). On Blocked the caller's CallPrim completes later via the
+/// task's wake action.
+POutcome p(Engine &E, Processor &P, Task &T, Object *Sem);
+
+/// V (signal): wakes the longest-waiting task, or increments the count.
+void v(Engine &E, Processor &P, Object *Sem);
+
+} // namespace sem
+} // namespace mult
+
+#endif // MULT_CORE_SEMAPHORE_H

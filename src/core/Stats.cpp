@@ -1,0 +1,34 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Stats.h"
+
+#include "support/OutStream.h"
+#include "support/StrUtil.h"
+
+namespace mult {
+
+/// Renders \p S human-readably (REPL's :stats command, debugging).
+void dumpStats(OutStream &OS, const EngineStats &S) {
+  OS << "tasks: created " << S.TasksCreated << ", inlined " << S.TasksInlined
+     << ", completed " << S.TasksCompleted << '\n';
+  OS << "futures: created " << S.FuturesCreated << ", resolved "
+     << S.FuturesResolved << '\n';
+  OS << "lazy seams: created " << S.SeamsCreated << ", stolen "
+     << S.SeamsStolen << '\n';
+  OS << "touches: executed " << S.TouchesExecuted << ", blocked "
+     << S.TouchesBlocked << '\n';
+  OS << "scheduling: dispatches " << S.Dispatches << ", steals " << S.Steals
+     << " (of " << S.StealAttempts << " attempts)\n";
+  OS << "execution: " << S.Instructions << " insns, " << S.CyclesExecuted
+     << " cycles busy, " << S.IdleCycles << " idle\n";
+  OS << strFormat("last run: %llu cycles = %.4f virtual seconds\n",
+                  static_cast<unsigned long long>(S.ElapsedCycles),
+                  S.elapsedSeconds());
+}
+
+} // namespace mult

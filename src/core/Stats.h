@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run-time statistics the benchmark harnesses report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_CORE_STATS_H
+#define MULT_CORE_STATS_H
+
+#include <cstdint>
+
+namespace mult {
+
+/// Cycle totals attributed to the six steps of evaluating
+/// `(touch (future 0))` (paper Table 1). Counts are events; Cycles are
+/// virtual NS32332 instructions.
+struct FutureStepStats {
+  uint64_t MakeThunkCycles = 0;     ///< Step 1: make thunk, call *future.
+  uint64_t CreateEnqueueCycles = 0; ///< Step 2: create future+task, enqueue.
+  uint64_t BlockCycles = 0;         ///< Step 3: block the touching task.
+  uint64_t DispatchNewCycles = 0;   ///< Step 4: dequeue + start a new task.
+  uint64_t ResolveCycles = 0;       ///< Step 5: resolve, wake waiters.
+  uint64_t DispatchSuspCycles = 0;  ///< Step 6: dequeue + resume.
+  uint64_t total() const {
+    return MakeThunkCycles + CreateEnqueueCycles + BlockCycles +
+           DispatchNewCycles + ResolveCycles + DispatchSuspCycles;
+  }
+};
+
+/// Engine-wide counters, cumulative until resetStats().
+struct EngineStats {
+  // Tasks and futures.
+  uint64_t TasksCreated = 0;
+  uint64_t TasksInlined = 0;  ///< futures evaluated inline (threshold T)
+  uint64_t TasksCompleted = 0;
+  uint64_t FuturesCreated = 0;
+  uint64_t FuturesResolved = 0;
+
+  // Lazy futures.
+  uint64_t SeamsCreated = 0;
+  uint64_t SeamsStolen = 0;
+
+  // Touches.
+  uint64_t TouchesExecuted = 0; ///< dynamic count of touch instructions
+  uint64_t TouchesBlocked = 0;  ///< touches that found an unresolved future
+
+  // Scheduling.
+  uint64_t Dispatches = 0;
+  uint64_t Steals = 0;
+  uint64_t StealAttempts = 0;
+
+  // Execution.
+  uint64_t Instructions = 0;   ///< bytecode instructions executed
+  uint64_t CyclesExecuted = 0; ///< virtual NS32332 instructions charged
+  uint64_t IdleCycles = 0;
+
+  // The last run's elapsed virtual time.
+  uint64_t ElapsedCycles = 0;
+
+  FutureStepStats Steps;
+
+  /// The paper's machine runs ~1 MIPS with a measured 220us for the ~196
+  /// instructions of (touch (future 0)): 1.12 us per abstract instruction.
+  static constexpr double MicrosecondsPerCycle = 1.12;
+
+  double elapsedSeconds() const {
+    return static_cast<double>(ElapsedCycles) * MicrosecondsPerCycle * 1e-6;
+  }
+  static double cyclesToSeconds(uint64_t Cycles) {
+    return static_cast<double>(Cycles) * MicrosecondsPerCycle * 1e-6;
+  }
+};
+
+} // namespace mult
+
+#endif // MULT_CORE_STATS_H

@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Task implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Task.h"
+
+#include "runtime/Object.h"
+
+#include <cassert>
+
+using namespace mult;
+
+void Task::initForThunk(TaskId NewId, GroupId G, Value Closure, Value Result,
+                        Value InheritedDynEnv, unsigned Proc) {
+  assert(Closure.isObject() &&
+         Closure.asObject()->tag() == TypeTag::Closure &&
+         "task body must be a closure");
+  Id = NewId;
+  Group = G;
+  State = TaskState::Ready;
+  LastProc = Proc;
+  Stack.clear();
+  Stack.push_back(Closure);
+  Frames.clear();
+  Frames.push_back(Frame{});
+  CurCode = Closure.asObject()->closureCode();
+  Pc = 0;
+  BlockedOn = Value::nil();
+  DynEnv = InheritedDynEnv;
+  ResultFuture = Result;
+  HasWakeAction = false;
+  WakePop = 0;
+  WakeValue = Value::nil();
+  StopCondition.clear();
+  StopPop = 0;
+  UnstolenSeams = 0;
+}
+
+void Task::clearForRecycle() {
+  State = TaskState::Done;
+  Stack.clear();
+  Frames.clear();
+  CurCode = nullptr;
+  Pc = 0;
+  BlockedOn = Value::nil();
+  DynEnv = Value::nil();
+  ResultFuture = Value::nil();
+  HasWakeAction = false;
+  WakeValue = Value::nil();
+  StopCondition.clear();
+  UnstolenSeams = 0;
+}

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lisp prelude: the portable part of Mul-T's user library, loaded
+/// into every engine at construction. Native primitives cover the hot
+/// paths; everything here is ordinary Mul-T code compiled like user code
+/// (with implicit touches), mirroring the paper's "user library" tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_LIB_PRELUDE_H
+#define MULT_LIB_PRELUDE_H
+
+namespace mult {
+
+inline constexpr const char PreludeSource[] = R"lisp(
+(define (caar x) (car (car x)))
+(define (cadr x) (car (cdr x)))
+(define (cdar x) (cdr (car x)))
+(define (cddr x) (cdr (cdr x)))
+(define (caddr x) (car (cddr x)))
+(define (cdddr x) (cdr (cddr x)))
+(define (cadddr x) (car (cdddr x)))
+(define (cddddr x) (cdr (cdddr x)))
+
+(define (list? x)
+  (cond ((null? x) #t)
+        ((pair? x) (list? (cdr x)))
+        (else #f)))
+
+(define (map f l)
+  (if (null? l)
+      '()
+      (cons (f (car l)) (map f (cdr l)))))
+
+(define (map2 f l1 l2)
+  (if (null? l1)
+      '()
+      (cons (f (car l1) (car l2)) (map2 f (cdr l1) (cdr l2)))))
+
+(define (for-each f l)
+  (if (null? l)
+      #t
+      (begin (f (car l)) (for-each f (cdr l)))))
+
+(define (filter p l)
+  (cond ((null? l) '())
+        ((p (car l)) (cons (car l) (filter p (cdr l))))
+        (else (filter p (cdr l)))))
+
+(define (fold-left f acc l)
+  (if (null? l) acc (fold-left f (f acc (car l)) (cdr l))))
+
+(define (fold-right f init l)
+  (if (null? l) init (f (car l) (fold-right f init (cdr l)))))
+
+(define (list-tail l n)
+  (if (= n 0) l (list-tail (cdr l) (- n 1))))
+
+(define (list-ref l n) (car (list-tail l n)))
+
+(define (last-pair l)
+  (if (null? (cdr l)) l (last-pair (cdr l))))
+
+(define (append! a b)
+  (if (null? a)
+      b
+      (begin (set-cdr! (last-pair a) b) a)))
+
+(define (add1 n) (+ n 1))
+(define (sub1 n) (- n 1))
+(define (1+ n) (+ n 1))
+(define (-1+ n) (- n 1))
+
+(define (assv k l) (assq k l))
+(define (memv k l) (memq k l))
+
+(define (iota n)
+  (let loop ((i 0))
+    (if (= i n) '() (cons i (loop (+ i 1))))))
+
+(define (print x) (display x) (newline))
+)lisp";
+
+} // namespace mult
+
+#endif // MULT_LIB_PRELUDE_H

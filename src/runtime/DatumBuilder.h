@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience constructors for building Lisp data in the permanent area.
+///
+/// The reader and macro expander build program text through a DatumBuilder,
+/// so source data lives in the static area (it is code, in T's sense) and
+/// never moves under the copying collector. Runtime allocation goes through
+/// the chunked heap path in Heap::allocate instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_RUNTIME_DATUMBUILDER_H
+#define MULT_RUNTIME_DATUMBUILDER_H
+
+#include "runtime/Heap.h"
+#include "runtime/SymbolTable.h"
+
+#include <cstring>
+#include <initializer_list>
+#include <string_view>
+
+namespace mult {
+
+/// Permanent-area datum constructors.
+class DatumBuilder {
+public:
+  DatumBuilder(Heap &H, SymbolTable &Syms) : TheHeap(H), Syms(Syms) {}
+
+  Value cons(Value Car, Value Cdr) {
+    Object *P = TheHeap.allocatePermanent(TypeTag::Pair, 2);
+    P->setCar(Car);
+    P->setCdr(Cdr);
+    return Value::object(P);
+  }
+
+  Value symbol(std::string_view Name) {
+    return Value::object(Syms.intern(Name));
+  }
+
+  Value string(std::string_view Text) {
+    Object *S = TheHeap.allocatePermanent(
+        TypeTag::String, stringPayloadWords(Text.size()), Object::FlagRaw);
+    S->payload()[0] = Text.size();
+    std::memcpy(S->stringData(), Text.data(), Text.size());
+    return Value::object(S);
+  }
+
+  Value vector(const std::vector<Value> &Elems) {
+    Object *V = TheHeap.allocatePermanent(
+        TypeTag::Vector, static_cast<uint32_t>(Elems.size()) + 1);
+    V->setSlot(0, Value::fixnum(static_cast<int64_t>(Elems.size())));
+    for (size_t I = 0; I < Elems.size(); ++I)
+      V->setSlot(static_cast<uint32_t>(I) + 1, Elems[I]);
+    return Value::object(V);
+  }
+
+  Value flonum(double D) {
+    Object *F =
+        TheHeap.allocatePermanent(TypeTag::Flonum, 1, Object::FlagRaw);
+    F->setFlonumValue(D);
+    return Value::object(F);
+  }
+
+  /// Builds a proper list from \p Elems.
+  Value list(std::initializer_list<Value> Elems) {
+    Value Out = Value::nil();
+    const Value *Data = Elems.begin();
+    for (size_t I = Elems.size(); I > 0; --I)
+      Out = cons(Data[I - 1], Out);
+    return Out;
+  }
+
+  /// Builds a proper list from a vector of elements.
+  Value listFromVector(const std::vector<Value> &Elems) {
+    Value Out = Value::nil();
+    for (size_t I = Elems.size(); I > 0; --I)
+      Out = cons(Elems[I - 1], Out);
+    return Out;
+  }
+
+  Heap &heap() { return TheHeap; }
+  SymbolTable &symbols() { return Syms; }
+
+private:
+  Heap &TheHeap;
+  SymbolTable &Syms;
+};
+
+/// \name List-walking helpers shared by the expander and compiler.
+/// @{
+inline bool isPair(Value V) {
+  return V.isObject() && V.asObject()->tag() == TypeTag::Pair;
+}
+inline bool isSymbol(Value V) {
+  return V.isObject() && V.asObject()->tag() == TypeTag::Symbol;
+}
+inline bool isString(Value V) {
+  return V.isObject() && V.asObject()->tag() == TypeTag::String;
+}
+inline Value carOf(Value V) { return V.asObject()->car(); }
+inline Value cdrOf(Value V) { return V.asObject()->cdr(); }
+
+/// Length of a proper list, or -1 when \p V is improper.
+inline int64_t listLength(Value V) {
+  int64_t N = 0;
+  while (isPair(V)) {
+    ++N;
+    V = cdrOf(V);
+  }
+  return V.isNil() ? N : -1;
+}
+
+/// True when \p V is the symbol spelled \p Name.
+inline bool isSymbolNamed(Value V, std::string_view Name) {
+  return isSymbol(V) && V.asObject()->symbolText() == Name;
+}
+/// @}
+
+} // namespace mult
+
+#endif // MULT_RUNTIME_DATUMBUILDER_H

@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-line Object helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Object.h"
+
+using namespace mult;
+
+const char *mult::typeTagName(TypeTag Tag) {
+  switch (Tag) {
+  case TypeTag::Pair:
+    return "pair";
+  case TypeTag::Vector:
+    return "vector";
+  case TypeTag::String:
+    return "string";
+  case TypeTag::Symbol:
+    return "symbol";
+  case TypeTag::Closure:
+    return "procedure";
+  case TypeTag::Template:
+    return "template";
+  case TypeTag::Box:
+    return "box";
+  case TypeTag::Future:
+    return "future";
+  case TypeTag::Semaphore:
+    return "semaphore";
+  case TypeTag::Flonum:
+    return "flonum";
+  }
+  return "unknown";
+}
+
+const Code *Object::closureCode() const {
+  return closureTemplate().asObject()->templateCode();
+}

@@ -1,0 +1,270 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap object layout for the Mul-T runtime.
+///
+/// Every heap object is a header word followed by `sizeWords` payload words.
+/// Payload words are Values unless the Raw flag is set (strings, flonums,
+/// code templates), which makes the copying collector's scan loop uniform.
+/// A future is an ordinary heap object whose *pointer* carries the low
+/// future bit (see Value.h); its components mirror the paper's list in
+/// section 2.2: a slot for the eventual value, a queue of waiting tasks,
+/// and the identity of the computing task (whose C++-side Task object owns
+/// the stack and the process-specific variables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_RUNTIME_OBJECT_H
+#define MULT_RUNTIME_OBJECT_H
+
+#include "runtime/Value.h"
+
+#include <cassert>
+#include <cstring>
+#include <string_view>
+
+namespace mult {
+
+struct Code; // Compiled template; defined in compiler/Bytecode.h.
+
+/// Runtime type of a heap object.
+enum class TypeTag : uint8_t {
+  Pair,
+  Vector,
+  String,
+  Symbol,
+  Closure,
+  Template,
+  Box,
+  Future,
+  Semaphore,
+  Flonum,
+};
+
+/// Returns a human-readable name for \p Tag ("pair", "vector", ...).
+const char *typeTagName(TypeTag Tag);
+
+/// A heap object: one header word plus payload.
+class Object {
+public:
+  enum Flags : uint8_t {
+    FlagForwarded = 1, ///< Payload word 0 holds the to-space address.
+    FlagRaw = 2,       ///< Payload words are not Values (don't scan).
+    FlagPermanent = 4, ///< Lives outside the semispaces; never moved.
+  };
+
+  TypeTag tag() const { return Tag; }
+  uint8_t flags() const { return Flag; }
+  bool isForwarded() const { return Flag & FlagForwarded; }
+  bool isRaw() const { return Flag & FlagRaw; }
+  bool isPermanent() const { return Flag & FlagPermanent; }
+  /// Number of payload words following the header.
+  uint32_t sizeWords() const { return SizeWords; }
+  /// Total footprint including the header, in words.
+  uint32_t totalWords() const { return SizeWords + 1; }
+
+  /// Initializes the header. Called by the heap only.
+  void initHeader(TypeTag T, uint32_t Size, uint8_t F) {
+    Tag = T;
+    Flag = F;
+    Aux = 0;
+    SizeWords = Size;
+  }
+
+  /// \name Raw payload access
+  /// @{
+  uint64_t *payload() { return reinterpret_cast<uint64_t *>(this) + 1; }
+  const uint64_t *payload() const {
+    return reinterpret_cast<const uint64_t *>(this) + 1;
+  }
+  Value slot(uint32_t I) const {
+    assert(I < SizeWords && "slot index out of range");
+    return Value::fromBits(payload()[I]);
+  }
+  void setSlot(uint32_t I, Value V) {
+    assert(I < SizeWords && "slot index out of range");
+    payload()[I] = V.bits();
+  }
+  /// @}
+
+  /// \name Forwarding (GC)
+  /// @{
+  void forwardTo(Object *NewLocation) {
+    Flag |= FlagForwarded;
+    payload()[0] = reinterpret_cast<uint64_t>(NewLocation);
+  }
+  Object *forwardedTo() const {
+    assert(isForwarded() && "object is not forwarded");
+    return reinterpret_cast<Object *>(payload()[0]);
+  }
+  /// @}
+
+  /// \name Pair
+  /// @{
+  Value car() const { return taggedSlot(TypeTag::Pair, 0); }
+  Value cdr() const { return taggedSlot(TypeTag::Pair, 1); }
+  void setCar(Value V) { setTaggedSlot(TypeTag::Pair, 0, V); }
+  void setCdr(Value V) { setTaggedSlot(TypeTag::Pair, 1, V); }
+  /// @}
+
+  /// \name Vector
+  /// @{
+  int64_t vectorLength() const {
+    return taggedSlot(TypeTag::Vector, 0).asFixnum();
+  }
+  Value vectorRef(int64_t I) const {
+    assert(I >= 0 && I < vectorLength() && "vector index out of range");
+    return slot(static_cast<uint32_t>(I) + 1);
+  }
+  void vectorSet(int64_t I, Value V) {
+    assert(I >= 0 && I < vectorLength() && "vector index out of range");
+    setSlot(static_cast<uint32_t>(I) + 1, V);
+  }
+  /// @}
+
+  /// \name String (raw)
+  /// @{
+  size_t stringLength() const {
+    assert(Tag == TypeTag::String);
+    return payload()[0];
+  }
+  char *stringData() {
+    assert(Tag == TypeTag::String);
+    return reinterpret_cast<char *>(payload() + 1);
+  }
+  std::string_view stringView() const {
+    assert(Tag == TypeTag::String);
+    return std::string_view(reinterpret_cast<const char *>(payload() + 1),
+                            payload()[0]);
+  }
+  /// @}
+
+  /// \name Symbol: [0]=name string, [1]=global value cell, [2]=plist
+  /// @{
+  Value symbolName() const { return taggedSlot(TypeTag::Symbol, 0); }
+  Value globalValue() const { return taggedSlot(TypeTag::Symbol, 1); }
+  void setGlobalValue(Value V) { setTaggedSlot(TypeTag::Symbol, 1, V); }
+  Value plist() const { return taggedSlot(TypeTag::Symbol, 2); }
+  void setPlist(Value V) { setTaggedSlot(TypeTag::Symbol, 2, V); }
+  std::string_view symbolText() const {
+    return symbolName().asObject()->stringView();
+  }
+  /// @}
+
+  /// \name Closure: [0]=template, [1..]=captured free-variable values
+  /// @{
+  Value closureTemplate() const { return taggedSlot(TypeTag::Closure, 0); }
+  uint32_t closureFreeCount() const {
+    assert(Tag == TypeTag::Closure);
+    return SizeWords - 1;
+  }
+  Value closureFree(uint32_t I) const {
+    return taggedSlot(TypeTag::Closure, I + 1);
+  }
+  void setClosureFree(uint32_t I, Value V) {
+    setTaggedSlot(TypeTag::Closure, I + 1, V);
+  }
+  const Code *closureCode() const;
+  /// @}
+
+  /// \name Template (raw): [0] = Code*
+  /// @{
+  const Code *templateCode() const {
+    assert(Tag == TypeTag::Template);
+    return reinterpret_cast<const Code *>(payload()[0]);
+  }
+  void setTemplateCode(const Code *C) {
+    assert(Tag == TypeTag::Template);
+    payload()[0] = reinterpret_cast<uint64_t>(C);
+  }
+  /// @}
+
+  /// \name Box: [0]=value (assignment-converted variables)
+  /// @{
+  Value boxValue() const { return taggedSlot(TypeTag::Box, 0); }
+  void setBoxValue(Value V) { setTaggedSlot(TypeTag::Box, 0, V); }
+  /// @}
+
+  /// \name Future: [0]=state, [1]=value, [2]=waiter task-id list,
+  ///               [3]=computing task id, [4]=group id
+  /// @{
+  enum FutureSlots : uint32_t {
+    FutState = 0,
+    FutValue = 1,
+    FutWaiters = 2,
+    FutTaskId = 3,
+    FutGroupId = 4,
+    FutureSizeWords = 5,
+  };
+  bool futureResolved() const {
+    return taggedSlot(TypeTag::Future, FutState).asFixnum() != 0;
+  }
+  Value futureValue() const { return taggedSlot(TypeTag::Future, FutValue); }
+  Value futureWaiters() const {
+    return taggedSlot(TypeTag::Future, FutWaiters);
+  }
+  void resolveFutureSlots(Value V) {
+    setTaggedSlot(TypeTag::Future, FutValue, V);
+    setTaggedSlot(TypeTag::Future, FutState, Value::fixnum(1));
+    setTaggedSlot(TypeTag::Future, FutWaiters, Value::nil());
+  }
+  /// @}
+
+  /// \name Semaphore: [0]=count, [1]=waiter task-id list
+  /// @{
+  enum SemaphoreSlots : uint32_t {
+    SemCount = 0,
+    SemWaiters = 1,
+    SemaphoreSizeWords = 2,
+  };
+  int64_t semaphoreCount() const {
+    return taggedSlot(TypeTag::Semaphore, SemCount).asFixnum();
+  }
+  void setSemaphoreCount(int64_t N) {
+    setTaggedSlot(TypeTag::Semaphore, SemCount, Value::fixnum(N));
+  }
+  /// @}
+
+  /// \name Flonum (raw): [0] = IEEE-754 bits
+  /// @{
+  double flonumValue() const {
+    assert(Tag == TypeTag::Flonum);
+    double D;
+    std::memcpy(&D, payload(), sizeof(double));
+    return D;
+  }
+  void setFlonumValue(double D) {
+    assert(Tag == TypeTag::Flonum);
+    std::memcpy(payload(), &D, sizeof(double));
+  }
+  /// @}
+
+private:
+  Value taggedSlot(TypeTag Expected, uint32_t I) const {
+    assert(Tag == Expected && "wrong object type");
+    (void)Expected;
+    return slot(I);
+  }
+  void setTaggedSlot(TypeTag Expected, uint32_t I, Value V) {
+    assert(Tag == Expected && "wrong object type");
+    (void)Expected;
+    setSlot(I, V);
+  }
+
+  TypeTag Tag;
+  uint8_t Flag;
+  uint16_t Aux;
+  uint32_t SizeWords;
+};
+
+static_assert(sizeof(Object) == 8, "object header must be one word");
+
+/// Convenience: number of payload words a string of \p Bytes needs
+/// (length word + rounded-up character data).
+inline uint32_t stringPayloadWords(size_t Bytes) {
+  return 1 + static_cast<uint32_t>((Bytes + 7) / 8);
+}
+
+} // namespace mult
+
+#endif // MULT_RUNTIME_OBJECT_H

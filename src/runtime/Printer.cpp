@@ -1,0 +1,234 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Printer implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Printer.h"
+
+#include "runtime/Object.h"
+#include "support/StrUtil.h"
+
+using namespace mult;
+
+namespace {
+
+class PrinterImpl {
+public:
+  PrinterImpl(OutStream &OS, const PrintOptions &Opts) : OS(OS), Opts(Opts) {}
+
+  void print(Value V, unsigned Depth) {
+    if (Depth > Opts.MaxDepth) {
+      OS << "...";
+      return;
+    }
+    if (V.isFixnum()) {
+      OS << V.asFixnum();
+      return;
+    }
+    if (V.isFuture()) {
+      Object *F = V.asFutureObject();
+      if (F->futureResolved()) {
+        OS << "#[future -> ";
+        print(F->futureValue(), Depth + 1);
+        OS << ']';
+      } else {
+        OS << "#[future (undetermined)]";
+      }
+      return;
+    }
+    if (V.isImmediate()) {
+      printImmediate(V);
+      return;
+    }
+    printObject(V.asObject(), Depth);
+  }
+
+private:
+  void printImmediate(Value V) {
+    switch (V.immKind()) {
+    case ImmKind::Nil:
+      OS << "()";
+      return;
+    case ImmKind::False:
+      OS << "#f";
+      return;
+    case ImmKind::True:
+      OS << "#t";
+      return;
+    case ImmKind::Char:
+      printChar(static_cast<char>(V.asChar()));
+      return;
+    case ImmKind::Unspecified:
+      OS << "#[unspecified]";
+      return;
+    case ImmKind::Eof:
+      OS << "#[eof]";
+      return;
+    case ImmKind::Unbound:
+      OS << "#[unbound]";
+      return;
+    }
+    OS << "#[bad-immediate]";
+  }
+
+  void printChar(char C) {
+    if (!Opts.Machine) {
+      OS << C;
+      return;
+    }
+    switch (C) {
+    case ' ':
+      OS << "#\\space";
+      return;
+    case '\n':
+      OS << "#\\newline";
+      return;
+    case '\t':
+      OS << "#\\tab";
+      return;
+    default:
+      OS << "#\\" << C;
+      return;
+    }
+  }
+
+  void printObject(Object *O, unsigned Depth) {
+    switch (O->tag()) {
+    case TypeTag::Pair:
+      printList(O, Depth);
+      return;
+    case TypeTag::Vector: {
+      OS << "#(";
+      int64_t N = O->vectorLength();
+      for (int64_t I = 0; I < N; ++I) {
+        if (I)
+          OS << ' ';
+        if (I >= Opts.MaxLength) {
+          OS << "...";
+          break;
+        }
+        print(O->vectorRef(I), Depth + 1);
+      }
+      OS << ')';
+      return;
+    }
+    case TypeTag::String:
+      if (Opts.Machine) {
+        OS << '"';
+        for (char C : O->stringView()) {
+          if (C == '"' || C == '\\')
+            OS << '\\';
+          if (C == '\n') {
+            OS << "\\n";
+            continue;
+          }
+          OS << C;
+        }
+        OS << '"';
+      } else {
+        OS << O->stringView();
+      }
+      return;
+    case TypeTag::Symbol:
+      OS << O->symbolText();
+      return;
+    case TypeTag::Closure:
+      OS << "#[procedure]";
+      return;
+    case TypeTag::Template:
+      OS << "#[template]";
+      return;
+    case TypeTag::Box:
+      OS << "#[box ";
+      print(O->boxValue(), Depth + 1);
+      OS << ']';
+      return;
+    case TypeTag::Future:
+      // Reached only via an object-tagged pointer to a future's storage,
+      // which the VM never exposes; print defensively.
+      OS << "#[future-object]";
+      return;
+    case TypeTag::Semaphore:
+      OS << "#[semaphore " << O->semaphoreCount() << ']';
+      return;
+    case TypeTag::Flonum:
+      OS << strFormat("%g", O->flonumValue());
+      return;
+    }
+    OS << "#[unknown]";
+  }
+
+  void printList(Object *Pair, unsigned Depth) {
+    OS << '(';
+    unsigned Count = 0;
+    for (;;) {
+      print(Pair->car(), Depth + 1);
+      Value Tail = Pair->cdr();
+      if (Tail.isNil())
+        break;
+      if (++Count >= Opts.MaxLength) {
+        OS << " ...";
+        break;
+      }
+      if (Tail.isObject() && Tail.asObject()->tag() == TypeTag::Pair) {
+        OS << ' ';
+        Pair = Tail.asObject();
+        continue;
+      }
+      OS << " . ";
+      print(Tail, Depth + 1);
+      break;
+    }
+    OS << ')';
+  }
+
+  OutStream &OS;
+  const PrintOptions &Opts;
+};
+
+} // namespace
+
+void mult::printValue(OutStream &OS, Value V, const PrintOptions &Opts) {
+  PrinterImpl(OS, Opts).print(V, 0);
+}
+
+std::string mult::valueToString(Value V, const PrintOptions &Opts) {
+  std::string Out;
+  StringOutStream OS(Out);
+  printValue(OS, V, Opts);
+  return Out;
+}
+
+bool mult::valuesEqual(Value A, Value B, unsigned DepthLimit) {
+  if (A.identical(B))
+    return true;
+  if (DepthLimit == 0)
+    return false;
+  if (!A.isObject() || !B.isObject())
+    return false;
+  Object *OA = A.asObject();
+  Object *OB = B.asObject();
+  if (OA->tag() != OB->tag())
+    return false;
+  switch (OA->tag()) {
+  case TypeTag::Pair:
+    return valuesEqual(OA->car(), OB->car(), DepthLimit - 1) &&
+           valuesEqual(OA->cdr(), OB->cdr(), DepthLimit - 1);
+  case TypeTag::Vector: {
+    if (OA->vectorLength() != OB->vectorLength())
+      return false;
+    for (int64_t I = 0, N = OA->vectorLength(); I < N; ++I)
+      if (!valuesEqual(OA->vectorRef(I), OB->vectorRef(I), DepthLimit - 1))
+        return false;
+    return true;
+  }
+  case TypeTag::String:
+    return OA->stringView() == OB->stringView();
+  case TypeTag::Flonum:
+    return OA->flonumValue() == OB->flonumValue();
+  default:
+    return false;
+  }
+}

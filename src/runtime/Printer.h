@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual rendering of Mul-T values (the `write`/`display` printer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_RUNTIME_PRINTER_H
+#define MULT_RUNTIME_PRINTER_H
+
+#include "runtime/Value.h"
+#include "support/OutStream.h"
+
+#include <string>
+
+namespace mult {
+
+struct PrintOptions {
+  /// `write` mode quotes strings and characters; `display` mode does not.
+  bool Machine = true;
+  /// Cutoffs that keep the printer safe on cyclic structure.
+  unsigned MaxDepth = 64;
+  unsigned MaxLength = 4096;
+};
+
+/// Prints \p V to \p OS.
+void printValue(OutStream &OS, Value V, const PrintOptions &Opts = {});
+
+/// Convenience: renders \p V to a string.
+std::string valueToString(Value V, const PrintOptions &Opts = {});
+
+/// Structural equality (the `equal?` primitive): recursive over pairs,
+/// vectors and strings; `eqv?`-like on everything else. Does not touch
+/// futures; callers touch first.
+bool valuesEqual(Value A, Value B, unsigned DepthLimit = 100000);
+
+} // namespace mult
+
+#endif // MULT_RUNTIME_PRINTER_H

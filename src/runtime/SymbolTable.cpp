@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SymbolTable implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SymbolTable.h"
+
+#include <cstring>
+
+using namespace mult;
+
+Object *SymbolTable::intern(std::string_view Name, uint64_t Now,
+                            uint64_t *Cycles) {
+  auto It = Table.find(std::string(Name));
+  if (It != Table.end()) {
+    if (Cycles)
+      *Cycles += 2; // hash probe hit
+    return It->second;
+  }
+
+  // Slow path: allocate the name string and the symbol in the permanent
+  // area under the symbol-table critical section.
+  uint64_t LockCost = Lock.acquire(Now, /*HoldCycles=*/12);
+  if (Cycles)
+    *Cycles += LockCost;
+
+  Object *NameStr = TheHeap.allocatePermanent(
+      TypeTag::String, stringPayloadWords(Name.size()), Object::FlagRaw);
+  NameStr->payload()[0] = Name.size();
+  std::memcpy(NameStr->stringData(), Name.data(), Name.size());
+
+  Object *Sym = TheHeap.allocatePermanent(TypeTag::Symbol, 3);
+  Sym->setSlot(0, Value::object(NameStr));
+  Sym->setSlot(1, Value::unbound());
+  Sym->setSlot(2, Value::nil());
+
+  Table.emplace(std::string(Name), Sym);
+  Order.push_back(Sym);
+  return Sym;
+}
+
+Object *SymbolTable::lookup(std::string_view Name) const {
+  auto It = Table.find(std::string(Name));
+  return It == Table.end() ? nullptr : It->second;
+}
+
+void SymbolTable::forEachSymbol(const std::function<void(Object *)> &Fn) {
+  for (Object *Sym : Order)
+    Fn(Sym);
+}
+
+std::vector<Object *> SymbolTable::segment(unsigned I,
+                                           unsigned NumSegments) const {
+  assert(NumSegments > 0 && I < NumSegments && "bad segment request");
+  std::vector<Object *> Out;
+  size_t N = Order.size();
+  size_t Begin = N * I / NumSegments;
+  size_t End = N * (I + 1) / NumSegments;
+  Out.reserve(End - Begin);
+  for (size_t K = Begin; K < End; ++K)
+    Out.push_back(Order[K]);
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned symbols with global value cells.
+///
+/// The paper (section 2.1.1) calls out `symbol-table` as a truly global
+/// mutable structure that must be protected by a critical section; we model
+/// that with a VirtualLock charged on every intern that misses the caller's
+/// fast path. Symbols are permanent objects; their global-value and plist
+/// slots are GC roots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_RUNTIME_SYMBOLTABLE_H
+#define MULT_RUNTIME_SYMBOLTABLE_H
+
+#include "runtime/Heap.h"
+#include "runtime/Object.h"
+#include "support/VirtualLock.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mult {
+
+/// Interning table mapping names to permanent Symbol objects.
+class SymbolTable {
+public:
+  explicit SymbolTable(Heap &H) : TheHeap(H) {}
+
+  /// Returns the unique symbol named \p Name, creating it on first use.
+  /// When \p Now / \p Cycles are supplied, charges the critical-section
+  /// cost to *Cycles.
+  Object *intern(std::string_view Name, uint64_t Now = 0,
+                 uint64_t *Cycles = nullptr);
+
+  /// Returns the symbol if it already exists, else null. Never allocates.
+  Object *lookup(std::string_view Name) const;
+
+  /// Invokes \p Fn on every symbol (GC root scanning, REPL completion).
+  void forEachSymbol(const std::function<void(Object *)> &Fn);
+
+  size_t size() const { return Table.size(); }
+
+  /// Splits the symbol population into \p NumSegments contiguous segments
+  /// and returns segment \p I — the GC's "static data area segments"
+  /// (paper section 2.1.2, step 3).
+  std::vector<Object *> segment(unsigned I, unsigned NumSegments) const;
+
+  uint64_t lockWaits() const { return Lock.waitedCycles(); }
+
+private:
+  Heap &TheHeap;
+  std::unordered_map<std::string, Object *> Table;
+  std::vector<Object *> Order; ///< Insertion order, for deterministic scans.
+  VirtualLock Lock;
+};
+
+} // namespace mult
+
+#endif // MULT_RUNTIME_SYMBOLTABLE_H

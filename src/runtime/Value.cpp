@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-line Value helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Value.h"
+
+#include "runtime/Object.h"
+
+namespace mult {
+
+/// Returns a user-facing type name for \p V ("fixnum", "pair", ...), used
+/// in diagnostics.
+const char *valueTypeName(Value V) {
+  if (V.isFixnum())
+    return "fixnum";
+  if (V.isFuture())
+    return "future";
+  if (V.isObject())
+    return typeTagName(V.asObject()->tag());
+  switch (V.immKind()) {
+  case ImmKind::Nil:
+    return "null";
+  case ImmKind::False:
+  case ImmKind::True:
+    return "boolean";
+  case ImmKind::Char:
+    return "character";
+  case ImmKind::Unspecified:
+    return "unspecified";
+  case ImmKind::Eof:
+    return "eof";
+  case ImmKind::Unbound:
+    return "unbound";
+  }
+  return "unknown";
+}
+
+} // namespace mult

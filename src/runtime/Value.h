@@ -1,0 +1,165 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tagged 64-bit value representation for Mul-T.
+///
+/// The paper (section 2.2) dictates the central encoding decision: the
+/// *future bit* must be a low-order pointer bit so that the implicit touch
+/// performed by every strict operation compiles to a single "test bit 0 and
+/// branch" (`tbit $0,r1; beq L1` on the NS32332). We reproduce that layout:
+///
+///   bits 2..0 = 000   fixnum; signed payload in bits 63..3
+///   bits 2..0 = 001   pointer to a Future object (bit 0 IS the future bit)
+///   bits 2..0 = 010   pointer to any other heap object
+///   bits 2..0 = 110   immediate; kind in bits 7..3, payload in bits 63..8
+///
+/// Heap objects are 8-byte aligned so the three low pointer bits are free.
+/// `isFuture()` therefore tests exactly one bit, mirroring the paper's
+/// two-instruction touch sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_RUNTIME_VALUE_H
+#define MULT_RUNTIME_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace mult {
+
+class Object;
+
+/// Immediate (non-heap, non-fixnum) value kinds.
+enum class ImmKind : uint8_t {
+  Nil = 0,         ///< The empty list '().
+  False,           ///< #f
+  True,            ///< #t
+  Char,            ///< Character; code point in the payload.
+  Unspecified,     ///< Result of side-effecting forms.
+  Eof,             ///< End-of-file object.
+  Unbound,         ///< Marker stored in unbound global cells.
+};
+
+/// A Mul-T value: one tagged machine word.
+class Value {
+public:
+  Value() : Bits(0) {} // fixnum 0
+
+  /// \name Constructors
+  /// @{
+  static Value fixnum(int64_t N) {
+    assert(fitsFixnum(N) && "fixnum overflow");
+    return Value(static_cast<uint64_t>(N) << 3);
+  }
+  static Value object(Object *O) {
+    auto Raw = reinterpret_cast<uint64_t>(O);
+    assert((Raw & 7) == 0 && "heap objects must be 8-byte aligned");
+    return Value(Raw | 2);
+  }
+  /// Wraps a pointer to a Future object, setting the future bit.
+  static Value future(Object *O) {
+    auto Raw = reinterpret_cast<uint64_t>(O);
+    assert((Raw & 7) == 0 && "heap objects must be 8-byte aligned");
+    return Value(Raw | 1);
+  }
+  static Value immediate(ImmKind Kind, uint64_t Payload = 0) {
+    return Value((Payload << 8) | (static_cast<uint64_t>(Kind) << 3) | 6);
+  }
+  static Value nil() { return immediate(ImmKind::Nil); }
+  static Value falseV() { return immediate(ImmKind::False); }
+  static Value trueV() { return immediate(ImmKind::True); }
+  static Value boolean(bool B) { return B ? trueV() : falseV(); }
+  static Value character(uint32_t CodePoint) {
+    return immediate(ImmKind::Char, CodePoint);
+  }
+  static Value unspecified() { return immediate(ImmKind::Unspecified); }
+  static Value eof() { return immediate(ImmKind::Eof); }
+  static Value unbound() { return immediate(ImmKind::Unbound); }
+  /// Reconstructs a value from its raw bits (GC and task snapshots).
+  static Value fromBits(uint64_t Bits) { return Value(Bits); }
+  /// @}
+
+  /// \name Predicates
+  /// @{
+  /// The paper's one-bit touch test: true iff this is an unresolved-future
+  /// placeholder pointer.
+  bool isFuture() const { return (Bits & 1) != 0; }
+  bool isFixnum() const { return (Bits & 7) == 0; }
+  bool isObject() const { return (Bits & 7) == 2; }
+  /// True for any heap pointer, future or not (GC cares about both).
+  bool isPointer() const { return isObject() || isFuture(); }
+  bool isImmediate() const { return (Bits & 7) == 6; }
+  bool isNil() const { return Bits == nil().Bits; }
+  bool isFalse() const { return Bits == falseV().Bits; }
+  bool isTrue() const { return Bits == trueV().Bits; }
+  bool isBoolean() const { return isFalse() || isTrue(); }
+  bool isChar() const { return isImmediate() && immKind() == ImmKind::Char; }
+  bool isUnspecified() const {
+    return isImmediate() && immKind() == ImmKind::Unspecified;
+  }
+  bool isUnbound() const {
+    return isImmediate() && immKind() == ImmKind::Unbound;
+  }
+  /// Scheme truth: everything except #f is true. '() is true in T/Scheme.
+  bool isTruthy() const { return !isFalse(); }
+  /// @}
+
+  /// \name Accessors
+  /// @{
+  int64_t asFixnum() const {
+    assert(isFixnum() && "not a fixnum");
+    return static_cast<int64_t>(Bits) >> 3;
+  }
+  Object *asObject() const {
+    assert(isObject() && "not a heap object");
+    return reinterpret_cast<Object *>(Bits & ~7ULL);
+  }
+  /// The Future object behind a future-tagged pointer.
+  Object *asFutureObject() const {
+    assert(isFuture() && "not a future");
+    return reinterpret_cast<Object *>(Bits & ~7ULL);
+  }
+  /// The object behind any pointer value, future-tagged or not.
+  Object *pointee() const {
+    assert(isPointer() && "not a pointer");
+    return reinterpret_cast<Object *>(Bits & ~7ULL);
+  }
+  ImmKind immKind() const {
+    assert(isImmediate() && "not an immediate");
+    return static_cast<ImmKind>((Bits >> 3) & 0x1f);
+  }
+  uint64_t immPayload() const {
+    assert(isImmediate() && "not an immediate");
+    return Bits >> 8;
+  }
+  uint32_t asChar() const {
+    assert(isChar() && "not a character");
+    return static_cast<uint32_t>(immPayload());
+  }
+  uint64_t bits() const { return Bits; }
+  /// @}
+
+  /// Pointer/bit identity — the `eq?` primitive (after touching).
+  bool identical(Value Other) const { return Bits == Other.Bits; }
+  bool operator==(const Value &Other) const = default;
+
+  /// True iff \p N survives the 61-bit fixnum encoding.
+  static bool fitsFixnum(int64_t N) {
+    return N >= (INT64_MIN >> 3) && N <= (INT64_MAX >> 3);
+  }
+
+private:
+  explicit Value(uint64_t Bits) : Bits(Bits) {}
+
+  uint64_t Bits;
+};
+
+static_assert(sizeof(Value) == 8, "Value must be one machine word");
+
+/// Returns a user-facing type name for \p V ("fixnum", "pair", ...), used
+/// in diagnostics.
+const char *valueTypeName(Value V);
+
+} // namespace mult
+
+#endif // MULT_RUNTIME_VALUE_H

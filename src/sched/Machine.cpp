@@ -1,0 +1,195 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine implementation: the virtual-time run loop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/Machine.h"
+
+#include "core/Engine.h"
+#include "sched/Scheduler.h"
+#include "vm/CostModel.h"
+#include "vm/Interpreter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mult;
+
+Machine::Machine(unsigned NumProcessors, uint64_t QuantumCycles,
+                 uint64_t MaxRunCycles, StealOrder Order)
+    : Quantum(QuantumCycles), MaxRunCycles(MaxRunCycles), Order(Order) {
+  assert(NumProcessors >= 1 && "need at least one processor");
+  Procs.resize(NumProcessors);
+  for (unsigned I = 0; I < NumProcessors; ++I)
+    Procs[I].Id = I;
+}
+
+std::vector<uint64_t> Machine::clocks() const {
+  std::vector<uint64_t> Out;
+  Out.reserve(Procs.size());
+  for (const Processor &P : Procs)
+    Out.push_back(P.Clock);
+  return Out;
+}
+
+void Machine::setClocks(const std::vector<uint64_t> &C) {
+  assert(C.size() == Procs.size());
+  for (size_t I = 0; I < Procs.size(); ++I)
+    Procs[I].Clock = C[I];
+}
+
+unsigned Machine::minClockProcessor() const {
+  unsigned Best = 0;
+  for (unsigned I = 1; I < Procs.size(); ++I)
+    if (Procs[I].Clock < Procs[Best].Clock)
+      Best = I;
+  return Best;
+}
+
+bool Machine::quiescent(const Engine &E) const {
+  for (const Processor &P : Procs)
+    if (P.Current != InvalidTask || P.Queues.depth() > 0)
+      return false;
+  return const_cast<Engine &>(E).seams().empty();
+}
+
+RunResult Machine::run(Engine &E, Value RootFuture) {
+  // Synchronize the processors at the start of the run (they idled while
+  // the "user" typed the expression).
+  uint64_t Start = 0;
+  for (Processor &P : Procs)
+    Start = std::max(Start, P.Clock);
+  for (Processor &P : Procs)
+    P.Clock = Start;
+
+  RunResult R;
+  unsigned FruitlessGcs = 0;
+  // Detects an instruction that keeps re-triggering collections: a
+  // monolithic allocation larger than the post-collection headroom can
+  // never complete (its partial garbage is reclaimed each time, so the
+  // used-words heuristic alone never fires).
+  TaskId SameSpotTask = InvalidTask;
+  uint32_t SameSpotPc = 0;
+  unsigned SameSpotGcs = 0;
+  for (;;) {
+    if (E.rootResolved()) {
+      R.Status = RunStatus::Completed;
+      R.Result = E.rootValue();
+      R.ElapsedCycles = E.rootResolvedClock() - Start;
+      E.stats().ElapsedCycles = R.ElapsedCycles;
+      return R;
+    }
+
+    Processor &P = Procs[minClockProcessor()];
+    if (P.Clock - Start > MaxRunCycles) {
+      R.Status = RunStatus::CycleLimit;
+      R.Error = "virtual cycle limit exceeded";
+      R.ElapsedCycles = P.Clock - Start;
+      E.stats().ElapsedCycles = R.ElapsedCycles;
+      return R;
+    }
+
+    if (P.Current != InvalidTask) {
+      Task &T = E.task(P.Current);
+      Group &G = E.group(T.Group);
+      if (G.State != GroupState::Running && G.State != GroupState::Done) {
+        // The group stopped while this task was current on another
+        // processor's signal: suspend it (paper: "no other tasks in the
+        // group will run").
+        P.Current = InvalidTask;
+        if (G.State == GroupState::Stopped &&
+            T.State == TaskState::Running) {
+          T.State = TaskState::Stopped;
+          G.Parked.push_back(T.Id);
+        } else if (G.State == GroupState::Killed) {
+          E.finishTask(T);
+        }
+        P.charge(4);
+        continue;
+      }
+      if (T.State != TaskState::Running) {
+        // Stopped by its own raise, or finished: detach.
+        P.Current = InvalidTask;
+        continue;
+      }
+
+      switch (interpretTask(E, P, T, P.Clock + Quantum)) {
+      case StepOutcome::TimeSlice:
+        FruitlessGcs = 0;
+        SameSpotTask = InvalidTask;
+        break;
+      case StepOutcome::Blocked:
+      case StepOutcome::TaskDone:
+      case StepOutcome::GroupStopped:
+        P.Current = InvalidTask;
+        if (E.lastStoppedGroup() == E.rootGroup() &&
+            E.group(E.rootGroup()).State == GroupState::Stopped) {
+          R.Status = RunStatus::GroupStopped;
+          R.StoppedGroup = E.rootGroup();
+          R.Error = E.group(E.rootGroup()).Condition;
+          R.ElapsedCycles = P.Clock - Start;
+          E.stats().ElapsedCycles = R.ElapsedCycles;
+          return R;
+        }
+        break;
+      case StepOutcome::NeedsGc: {
+        if (T.Id == SameSpotTask && T.Pc == SameSpotPc) {
+          if (++SameSpotGcs >= 8) {
+            R.Status = RunStatus::HeapExhausted;
+            R.Error = "heap exhausted: a single operation allocates more "
+                      "than the collected heap can hold";
+            return R;
+          }
+        } else {
+          SameSpotTask = T.Id;
+          SameSpotPc = T.Pc;
+          SameSpotGcs = 1;
+        }
+        size_t UsedBefore = E.heap().usedWords();
+        if (!E.collectGarbage()) {
+          R.Status = RunStatus::HeapExhausted;
+          R.Error = "heap exhausted: semispace too small for live data";
+          return R;
+        }
+        // A collection that frees (almost) nothing cannot unblock the
+        // failing allocation; give up instead of thrashing.
+        if (E.heap().usedWords() + 64 >= UsedBefore) {
+          if (++FruitlessGcs >= 2) {
+            R.Status = RunStatus::HeapExhausted;
+            R.Error = "heap exhausted: collection reclaimed no space";
+            return R;
+          }
+        } else {
+          FruitlessGcs = 0;
+        }
+        break;
+      }
+      }
+      continue;
+    }
+
+    // Idle processor: find work.
+    TaskId Next = dispatchNextTask(E, *this, P);
+    if (Next != InvalidTask) {
+      P.Current = Next;
+      continue;
+    }
+    P.Clock += cost::IdleTick;
+    P.IdleCycles += cost::IdleTick;
+    E.stats().IdleCycles += cost::IdleTick;
+
+    if (quiescent(E)) {
+      // Nothing runnable anywhere. If the root is unresolved, the
+      // computation deadlocked (e.g. the paper's semaphore example under
+      // inlining).
+      R.Status = RunStatus::Deadlock;
+      R.Error = "deadlock: all processors idle, root future unresolved";
+      R.ElapsedCycles = P.Clock - Start;
+      E.stats().ElapsedCycles = R.ElapsedCycles;
+      return R;
+    }
+  }
+  (void)RootFuture;
+}

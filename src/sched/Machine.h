@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual-time multiprocessor.
+///
+/// Substitute for the Encore Multimax (see DESIGN.md): N virtual
+/// processors, each with a cycle clock; the machine always steps the
+/// processor with the smallest clock, for a quantum of cycles at a time.
+/// One host thread plays all processors, so every runtime operation is
+/// atomic and the schedule is deterministic; contention is modelled by
+/// VirtualLock busy-intervals. Speedup numbers come out in virtual time,
+/// which reproduces the *shape* of the paper's tables exactly and is
+/// immune to host-machine noise (the paper's UMAX runs varied by ~5%; ours
+/// are bit-stable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_SCHED_MACHINE_H
+#define MULT_SCHED_MACHINE_H
+
+#include "sched/TaskQueues.h"
+
+#include <string>
+#include <vector>
+
+namespace mult {
+
+class Engine;
+
+/// One virtual processor.
+struct Processor {
+  unsigned Id = 0;
+  uint64_t Clock = 0;
+  TaskId Current = InvalidTask;
+  TaskQueues Queues;
+
+  // Statistics.
+  uint64_t BusyCycles = 0;
+  uint64_t IdleCycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t Dispatches = 0;
+  uint64_t Steals = 0;
+  uint64_t TasksStarted = 0;
+  uint64_t HandlerActivations = 0; ///< exception-handler server task runs
+
+  void charge(uint64_t Cycles) {
+    Clock += Cycles;
+    BusyCycles += Cycles;
+  }
+};
+
+/// Why Machine::run returned.
+enum class RunStatus : uint8_t {
+  Completed,    ///< Root future resolved; Result holds the value.
+  GroupStopped, ///< The root group hit an exception (breakloop time).
+  Deadlock,     ///< Quiescent with the root unresolved.
+  HeapExhausted,///< GC could not reclaim enough space.
+  CycleLimit,   ///< Config.MaxRunCycles exceeded.
+};
+
+struct RunResult {
+  RunStatus Status = RunStatus::Completed;
+  Value Result = Value::unspecified();
+  GroupId StoppedGroup = InvalidGroup;
+  std::string Error;
+  uint64_t ElapsedCycles = 0;
+};
+
+/// The machine.
+class Machine {
+public:
+  Machine(unsigned NumProcessors, uint64_t QuantumCycles,
+          uint64_t MaxRunCycles, StealOrder Order);
+
+  /// Runs until the future \p RootFuture resolves (or an exceptional
+  /// status). Runnable tasks must already be enqueued.
+  RunResult run(Engine &E, Value RootFuture);
+
+  unsigned numProcessors() const {
+    return static_cast<unsigned>(Procs.size());
+  }
+  Processor &processor(unsigned I) { return Procs[I]; }
+  const Processor &processor(unsigned I) const { return Procs[I]; }
+
+  /// Collects all processor clocks (GC rendezvous).
+  std::vector<uint64_t> clocks() const;
+  void setClocks(const std::vector<uint64_t> &C);
+
+  StealOrder stealOrder() const { return Order; }
+
+  /// True when nothing can make progress: no current tasks, all queues
+  /// empty, and no stealable lazy seams.
+  bool quiescent(const Engine &E) const;
+
+private:
+  unsigned minClockProcessor() const;
+
+  std::vector<Processor> Procs;
+  uint64_t Quantum;
+  uint64_t MaxRunCycles;
+  StealOrder Order;
+};
+
+} // namespace mult
+
+#endif // MULT_SCHED_MACHINE_H

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dispatch policy of paper section 2.1.3.
+///
+/// When a processor finishes a task it searches, in order:
+///   1. its own suspended task queue,
+///   2. its own new task queue,
+///   3. other processors' new task queues (stealing),
+///   4. other processors' suspended task queues (stealing),
+/// and, in lazy-future mode, 5. the oldest stealable seam in the machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_SCHED_SCHEDULER_H
+#define MULT_SCHED_SCHEDULER_H
+
+#include "core/Task.h"
+
+namespace mult {
+
+class Engine;
+class Machine;
+struct Processor;
+
+/// Finds the next task for idle processor \p P, charging dispatch costs.
+/// Returns InvalidTask when nothing is runnable. Handles parking of tasks
+/// whose group has stopped, and attributes Table-1 step 4/6 cycles.
+TaskId dispatchNextTask(Engine &E, Machine &M, Processor &P);
+
+} // namespace mult
+
+#endif // MULT_SCHED_SCHEDULER_H

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TaskQueues implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/TaskQueues.h"
+
+#include "vm/CostModel.h"
+
+using namespace mult;
+
+uint64_t TaskQueues::pushNew(TaskId T, uint64_t Now) {
+  uint64_t C = NewLock.acquire(Now, cost::QueueLockHold);
+  NewQ.push_back(T);
+  return C + 2;
+}
+
+uint64_t TaskQueues::pushSuspended(TaskId T, uint64_t Now) {
+  uint64_t C = SuspLock.acquire(Now, cost::QueueLockHold);
+  SuspQ.push_back(T);
+  return C + 2;
+}
+
+TaskId TaskQueues::popNew(uint64_t Now, uint64_t &Cycles) {
+  if (NewQ.empty()) {
+    Cycles += 2; // emptiness check
+    return InvalidTask;
+  }
+  Cycles += NewLock.acquire(Now, cost::QueueLockHold) + 2;
+  TaskId T = NewQ.back();
+  NewQ.pop_back();
+  return T;
+}
+
+TaskId TaskQueues::popSuspended(uint64_t Now, uint64_t &Cycles) {
+  if (SuspQ.empty()) {
+    Cycles += 2;
+    return InvalidTask;
+  }
+  Cycles += SuspLock.acquire(Now, cost::QueueLockHold) + 2;
+  TaskId T = SuspQ.back();
+  SuspQ.pop_back();
+  return T;
+}
+
+TaskId TaskQueues::stealNew(uint64_t Now, uint64_t &Cycles, StealOrder Order) {
+  if (NewQ.empty()) {
+    Cycles += cost::StealProbe;
+    return InvalidTask;
+  }
+  Cycles += NewLock.acquire(Now, cost::QueueLockHold) + cost::StealBase;
+  TaskId T;
+  if (Order == StealOrder::Lifo) {
+    T = NewQ.back();
+    NewQ.pop_back();
+  } else {
+    T = NewQ.front();
+    NewQ.pop_front();
+  }
+  return T;
+}
+
+TaskId TaskQueues::stealSuspended(uint64_t Now, uint64_t &Cycles,
+                                  StealOrder Order) {
+  if (SuspQ.empty()) {
+    Cycles += cost::StealProbe;
+    return InvalidTask;
+  }
+  Cycles += SuspLock.acquire(Now, cost::QueueLockHold) + cost::StealBase;
+  TaskId T;
+  if (Order == StealOrder::Lifo) {
+    T = SuspQ.back();
+    SuspQ.pop_back();
+  } else {
+    T = SuspQ.front();
+    SuspQ.pop_front();
+  }
+  return T;
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-processor task queues (paper section 2.1.3).
+///
+/// Each processor owns two queues: the *new task queue* (freshly created
+/// tasks) and the *suspended task queue* (tasks made runnable again after
+/// blocking). New tasks go on the creating processor's new queue; woken
+/// tasks go on the suspended queue of the processor they last ran on, to
+/// reduce turbulence in the Multimax's snoopy caches. Selection within a
+/// queue is last-in-first-out, as the paper states; steals can be
+/// configured LIFO (the paper's "first cut") or FIFO (classic
+/// work-stealing) for the ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_SCHED_TASKQUEUES_H
+#define MULT_SCHED_TASKQUEUES_H
+
+#include "core/Task.h"
+#include "support/VirtualLock.h"
+
+#include <deque>
+
+namespace mult {
+
+/// Which end thieves take from.
+enum class StealOrder : uint8_t { Lifo, Fifo };
+
+/// The two queues of one processor. Locking is modelled in virtual time;
+/// every operation returns the cycles to charge.
+class TaskQueues {
+public:
+  /// \name Owner operations (LIFO)
+  /// @{
+  uint64_t pushNew(TaskId T, uint64_t Now);
+  uint64_t pushSuspended(TaskId T, uint64_t Now);
+  /// Pops the newest entry; InvalidTask when empty.
+  TaskId popNew(uint64_t Now, uint64_t &Cycles);
+  TaskId popSuspended(uint64_t Now, uint64_t &Cycles);
+  /// @}
+
+  /// \name Thief operations
+  /// @{
+  TaskId stealNew(uint64_t Now, uint64_t &Cycles, StealOrder Order);
+  TaskId stealSuspended(uint64_t Now, uint64_t &Cycles, StealOrder Order);
+  /// @}
+
+  size_t newCount() const { return NewQ.size(); }
+  size_t suspendedCount() const { return SuspQ.size(); }
+  /// Queue depth the inlining threshold compares against (paper
+  /// section 3: "the number of tasks on that processor's queues").
+  size_t depth() const { return NewQ.size() + SuspQ.size(); }
+
+private:
+  std::deque<TaskId> NewQ;
+  std::deque<TaskId> SuspQ;
+  VirtualLock NewLock;
+  VirtualLock SuspLock;
+};
+
+} // namespace mult
+
+#endif // MULT_SCHED_TASKQUEUES_H

@@ -1,0 +1,27 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prng implementation (splitmix64).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Prng.h"
+
+#include <cassert>
+
+using namespace mult;
+
+uint64_t Prng::next() {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t Prng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  // Multiply-shift reduction; bias is negligible for the bounds we use.
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+}

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generator (splitmix64/xorshift mix).
+/// Used by the `(random n)` primitive and by the permute benchmark; seeded
+/// from EngineConfig so every simulation run is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_SUPPORT_PRNG_H
+#define MULT_SUPPORT_PRNG_H
+
+#include <cstdint>
+
+namespace mult {
+
+/// A small, fast, deterministic PRNG (splitmix64).
+///
+/// Determinism matters here: the virtual-time simulator must produce
+/// bit-identical schedules across runs so the benchmark tables and the
+/// property tests are stable.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Re-seeds the generator.
+  void seed(uint64_t Seed) { State = Seed; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace mult
+
+#endif // MULT_SUPPORT_PRNG_H

@@ -1,0 +1,193 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// REPL implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ui/Repl.h"
+
+#include "reader/Reader.h"
+#include "runtime/Printer.h"
+#include "support/StrUtil.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace mult {
+void dumpStats(OutStream &OS, const EngineStats &S); // core/Stats.cpp
+} // namespace mult
+
+using namespace mult;
+
+std::string Repl::prompt() const {
+  size_t Depth = E.stoppedGroups().size();
+  if (Depth == 0)
+    return "mul-t> ";
+  return strFormat("mul-t[%zu]> ", Depth);
+}
+
+static std::string_view trimmed(std::string_view S) {
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+    S.remove_prefix(1);
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+    S.remove_suffix(1);
+  return S;
+}
+
+bool Repl::processLine(std::string_view Line) {
+  std::string_view L = trimmed(Line);
+  if (L.empty())
+    return true;
+  if (L == ":exit" || L == ":quit" || L == "(exit)")
+    return false;
+  if (L[0] == ':') {
+    size_t Space = L.find(' ');
+    std::string_view Cmd = L.substr(0, Space);
+    std::string_view Arg =
+        Space == std::string_view::npos ? "" : trimmed(L.substr(Space + 1));
+    if (Cmd == ":help")
+      cmdHelp();
+    else if (Cmd == ":groups")
+      cmdGroups();
+    else if (Cmd == ":tasks")
+      cmdTasks(Arg);
+    else if (Cmd == ":bt")
+      cmdBacktrace();
+    else if (Cmd == ":resume" || Cmd == ":ret")
+      cmdResume(Arg);
+    else if (Cmd == ":kill")
+      cmdKill(Arg);
+    else if (Cmd == ":stats")
+      cmdStats();
+    else
+      Out << "unknown command " << Cmd << "; try :help\n";
+    return true;
+  }
+  evalAndPrint(L);
+  return true;
+}
+
+void Repl::evalAndPrint(std::string_view Src) {
+  EvalResult R = E.eval(Src);
+  Out << E.takeOutput();
+  switch (R.K) {
+  case EvalResult::Kind::Value:
+    printValue(Out, R.Val);
+    Out << '\n';
+    return;
+  case EvalResult::Kind::RuntimeError: {
+    Out << ";; exception: " << R.Error << '\n';
+    if (Group *G = E.findGroup(R.StoppedGroup)) {
+      Out << ";; group " << G->Id << " stopped (" << G->Banner << ")\n";
+      Out << ";; current task " << taskIndex(G->CurrentTask)
+          << "; :bt for a backtrace, :resume <value> to continue, "
+             ":kill to discard\n";
+    }
+    return;
+  }
+  default:
+    Out << ";; error: " << R.Error << '\n';
+    return;
+  }
+}
+
+void Repl::cmdHelp() {
+  Out << "REPL commands:\n"
+         "  :groups          list all groups and their states\n"
+         "  :tasks <group>   list a stopped group's tasks\n"
+         "  :bt              backtrace of the current task\n"
+         "  :resume [value]  resume the current group; the erring\n"
+         "                   operation returns the value (default #f)\n"
+         "  :kill [group]    kill the current (or named) group\n"
+         "  :stats           execution statistics\n"
+         "  :exit            leave the REPL\n"
+         "anything else evaluates as a Mul-T expression (its own group)\n";
+}
+
+void Repl::cmdGroups() {
+  for (const Group &G : E.allGroups()) {
+    if (G.Internal)
+      continue; // prelude bootstrap
+    Out << "  group " << G.Id << " [" << groupStateName(G.State) << "] "
+        << G.Banner << " (" << G.TasksCreated << " tasks)\n";
+  }
+}
+
+void Repl::cmdTasks(std::string_view Arg) {
+  GroupId Id = E.currentStoppedGroup();
+  if (!Arg.empty())
+    Id = static_cast<GroupId>(std::atoi(std::string(Arg).c_str()));
+  Group *G = E.findGroup(Id);
+  if (!G) {
+    Out << "no such group\n";
+    return;
+  }
+  for (TaskId T : G->Members) {
+    Task *Live = E.liveTask(T);
+    if (!Live)
+      continue;
+    const char *State = "?";
+    switch (Live->State) {
+    case TaskState::Ready: State = "ready"; break;
+    case TaskState::Running: State = "running"; break;
+    case TaskState::BlockedFuture: State = "blocked-on-future"; break;
+    case TaskState::BlockedSemaphore: State = "blocked-on-semaphore"; break;
+    case TaskState::Stopped: State = "stopped"; break;
+    case TaskState::Done: State = "done"; break;
+    }
+    Out << "  task " << taskIndex(T) << " [" << State << "]"
+        << (T == G->CurrentTask ? " <- current" : "") << "\n";
+  }
+}
+
+void Repl::cmdBacktrace() {
+  GroupId Id = E.currentStoppedGroup();
+  Group *G = E.findGroup(Id);
+  if (!G || G->State != GroupState::Stopped) {
+    Out << "no stopped group\n";
+    return;
+  }
+  Out << ";; " << G->Condition << '\n';
+  Out << E.backtrace(G->CurrentTask);
+}
+
+void Repl::cmdResume(std::string_view Arg) {
+  GroupId Id = E.currentStoppedGroup();
+  if (Id == InvalidGroup) {
+    Out << "no stopped group\n";
+    return;
+  }
+  Value V = Value::falseV();
+  if (!Arg.empty()) {
+    Reader Rd(E.builder(), Arg);
+    ReadResult RR = Rd.read();
+    if (!RR.ok()) {
+      Out << "bad resume value\n";
+      return;
+    }
+    V = RR.Datum;
+  }
+  EvalResult R = E.resumeGroup(Id, V);
+  Out << E.takeOutput();
+  if (R.ok()) {
+    printValue(Out, R.Val);
+    Out << '\n';
+  } else {
+    Out << ";; " << R.Error << '\n';
+  }
+}
+
+void Repl::cmdKill(std::string_view Arg) {
+  GroupId Id = E.currentStoppedGroup();
+  if (!Arg.empty())
+    Id = static_cast<GroupId>(std::atoi(std::string(Arg).c_str()));
+  if (Id == InvalidGroup) {
+    Out << "no stopped group\n";
+    return;
+  }
+  E.killGroup(Id);
+  Out << ";; group " << Id << " killed\n";
+}
+
+void Repl::cmdStats() { dumpStats(Out, E.stats()); }

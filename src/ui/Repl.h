@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The group-aware read-eval-print loop (paper section 2.3).
+///
+/// Each typed expression runs as its own group. On an exception the group
+/// stops and the REPL enters breakloop mode: the usual debugging commands
+/// apply by default to the *current task* of the *current group*, but any
+/// stopped group can be inspected, resumed (in any order!) or killed —
+/// exactly the departure from one-breakloop-per-task that the paper
+/// advocates.
+///
+/// Commands: ordinary Mul-T expressions evaluate; lines starting with ':'
+/// are REPL commands (:help lists them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_UI_REPL_H
+#define MULT_UI_REPL_H
+
+#include "core/Engine.h"
+
+#include <string_view>
+
+namespace mult {
+
+/// The REPL driver. I/O-agnostic: callers feed lines and render output.
+class Repl {
+public:
+  Repl(Engine &E, OutStream &Out) : E(E), Out(Out) {}
+
+  /// Handles one input line. Returns false when the user asked to exit.
+  bool processLine(std::string_view Line);
+
+  /// The prompt reflecting breakloop depth: "mul-t>" at top level,
+  /// "mul-t[2]>" inside two stopped groups.
+  std::string prompt() const;
+
+private:
+  void evalAndPrint(std::string_view Src);
+  void cmdHelp();
+  void cmdGroups();
+  void cmdTasks(std::string_view Arg);
+  void cmdBacktrace();
+  void cmdResume(std::string_view Arg);
+  void cmdKill(std::string_view Arg);
+  void cmdStats();
+
+  Engine &E;
+  OutStream &Out;
+};
+
+} // namespace mult
+
+#endif // MULT_UI_REPL_H

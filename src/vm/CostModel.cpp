@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost model implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/CostModel.h"
+
+using namespace mult;
+
+uint64_t mult::opBaseCost(Op O) {
+  switch (O) {
+  case Op::Const:
+  case Op::PushFixnum:
+  case Op::PushNil:
+  case Op::PushTrue:
+  case Op::PushFalse:
+  case Op::PushUnspecified:
+    return cost::Push;
+  case Op::Local:
+  case Op::SetLocal:
+    return cost::LocalLoad;
+  case Op::Slide:
+    return 1;
+  case Op::PrimApplyVar:
+    return cost::CallPrimBase;
+  case Op::Free:
+    return cost::FreeLoad;
+  case Op::Pop:
+    return cost::Pop;
+  case Op::MakeBox:
+    return cost::MakeBoxBase;
+  case Op::BoxRef:
+    return cost::BoxRef;
+  case Op::BoxSet:
+    return cost::BoxSet;
+  case Op::GlobalRef:
+    return cost::GlobalRef;
+  case Op::GlobalSet:
+  case Op::GlobalDefine:
+    return cost::GlobalSet;
+  case Op::Closure:
+    return cost::ClosureBase;
+  case Op::Jump:
+    return cost::Jump;
+  case Op::JumpIfFalse:
+    return cost::JumpIfFalse;
+  case Op::Call:
+    return cost::Call;
+  case Op::TailCall:
+    return cost::TailCall;
+  case Op::Return:
+    return cost::Return;
+  case Op::TouchStack:
+  case Op::TouchLocal:
+  case Op::TouchBack:
+    return cost::Touch;
+  case Op::FutureOp:
+    return cost::FutureEntry;
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Quotient:
+  case Op::Remainder:
+    return cost::Arith;
+  case Op::NumLt:
+  case Op::NumLe:
+  case Op::NumGt:
+  case Op::NumGe:
+  case Op::NumEq:
+  case Op::Eq:
+    return cost::Compare;
+  case Op::Cons:
+    return cost::ConsBase;
+  case Op::Car:
+  case Op::Cdr:
+    return cost::CarCdr;
+  case Op::SetCar:
+  case Op::SetCdr:
+    return cost::SetCarCdr;
+  case Op::NullP:
+  case Op::PairP:
+  case Op::Not:
+    return cost::Predicate;
+  case Op::VectorRef:
+    return cost::VectorRef;
+  case Op::VectorSet:
+    return cost::VectorSet;
+  case Op::VectorLength:
+    return cost::VectorLen;
+  case Op::CallPrim:
+    return cost::CallPrimBase;
+  }
+  return 1;
+}

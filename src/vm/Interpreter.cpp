@@ -1,0 +1,654 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpreter implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "core/Engine.h"
+#include "core/FutureOps.h"
+#include "core/LazyFutures.h"
+#include "runtime/Printer.h"
+#include "support/StrUtil.h"
+#include "vm/CostModel.h"
+#include "vm/Primitives.h"
+
+#include <cassert>
+
+using namespace mult;
+
+namespace {
+
+/// True for fixnum or flonum.
+bool isNumber(Value V) {
+  return V.isFixnum() ||
+         (V.isObject() && V.asObject()->tag() == TypeTag::Flonum);
+}
+
+double numAsDouble(Value V) {
+  return V.isFixnum() ? static_cast<double>(V.asFixnum())
+                      : V.asObject()->flonumValue();
+}
+
+bool isPairV(Value V) {
+  return V.isObject() && V.asObject()->tag() == TypeTag::Pair;
+}
+bool isVectorV(Value V) {
+  return V.isObject() && V.asObject()->tag() == TypeTag::Vector;
+}
+bool isClosureV(Value V) {
+  return V.isObject() && V.asObject()->tag() == TypeTag::Closure;
+}
+
+} // namespace
+
+StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
+                                uint64_t TargetClock) {
+  // Complete a deferred blocking/erring instruction (semaphore wake,
+  // breakloop resume).
+  if (T.HasWakeAction) {
+    assert(T.Stack.size() >= T.WakePop && "wake action pops too much");
+    T.Stack.resize(T.Stack.size() - T.WakePop);
+    T.Stack.push_back(T.WakeValue);
+    ++T.Pc;
+    T.HasWakeAction = false;
+    T.WakeValue = Value::nil();
+  }
+
+  EngineStats &S = E.stats();
+  std::vector<Value> &Stack = T.Stack;
+
+  // Raise an exception: stop the whole group (paper section 2.3).
+  auto Raise = [&](std::string Msg, uint32_t PopCount) -> StepOutcome {
+    E.stopGroup(P, T, std::move(Msg), PopCount);
+    return StepOutcome::GroupStopped;
+  };
+
+  // Touch the value at \p Slot in place. Returns Ok(0), Blocked(1) or
+  // NeedsGc(2).
+  auto TouchSlot = [&](Value &Slot) -> int {
+    ++S.TouchesExecuted;
+    if (!Slot.isFuture())
+      return 0;
+    Value Out;
+    Object *Unresolved = nullptr;
+    uint64_t Chase = 0;
+    if (futureops::chase(Slot, Out, Unresolved, Chase)) {
+      P.charge(Chase);
+      Slot = Out;
+      return 0;
+    }
+    P.charge(Chase);
+    if (!futureops::blockOnFuture(E, P, T, Unresolved))
+      return 2;
+    return 1;
+  };
+
+  while (P.Clock < TargetClock) {
+    assert(T.Pc < T.CurCode->Insns.size() && "pc ran off the template");
+    const Insn &I = T.CurCode->Insns[T.Pc];
+    P.charge(opBaseCost(I.Opcode));
+    ++P.Instructions;
+    ++S.Instructions;
+    uint32_t Base = T.Frames.back().Base;
+
+    switch (I.Opcode) {
+    case Op::Const:
+      Stack.push_back(T.CurCode->Constants[static_cast<size_t>(I.A)]);
+      ++T.Pc;
+      break;
+    case Op::PushFixnum:
+      Stack.push_back(Value::fixnum(I.A));
+      ++T.Pc;
+      break;
+    case Op::PushNil:
+      Stack.push_back(Value::nil());
+      ++T.Pc;
+      break;
+    case Op::PushTrue:
+      Stack.push_back(Value::trueV());
+      ++T.Pc;
+      break;
+    case Op::PushFalse:
+      Stack.push_back(Value::falseV());
+      ++T.Pc;
+      break;
+    case Op::PushUnspecified:
+      Stack.push_back(Value::unspecified());
+      ++T.Pc;
+      break;
+    case Op::Local:
+      Stack.push_back(Stack[Base + static_cast<uint32_t>(I.A)]);
+      ++T.Pc;
+      break;
+    case Op::SetLocal:
+      Stack[Base + static_cast<uint32_t>(I.A)] = Stack.back();
+      Stack.pop_back();
+      ++T.Pc;
+      break;
+    case Op::Slide: {
+      Value Result = Stack.back();
+      Stack.resize(Stack.size() - 1 - static_cast<uint32_t>(I.A));
+      Stack.push_back(Result);
+      ++T.Pc;
+      break;
+    }
+    case Op::Free: {
+      Object *Closure = Stack[Base].asObject();
+      Stack.push_back(Closure->closureFree(static_cast<uint32_t>(I.A)));
+      ++T.Pc;
+      break;
+    }
+    case Op::Pop:
+      Stack.pop_back();
+      ++T.Pc;
+      break;
+
+    case Op::MakeBox: {
+      uint64_t Cycles = 0;
+      Object *Box = E.tryAlloc(P, TypeTag::Box, 1, Cycles);
+      P.charge(Cycles);
+      if (!Box)
+        return StepOutcome::NeedsGc;
+      Box->setSlot(0, Stack.back());
+      Stack.back() = Value::object(Box);
+      ++T.Pc;
+      break;
+    }
+    case Op::BoxRef: {
+      assert(Stack.back().isObject() &&
+             Stack.back().asObject()->tag() == TypeTag::Box);
+      Stack.back() = Stack.back().asObject()->boxValue();
+      ++T.Pc;
+      break;
+    }
+    case Op::BoxSet: {
+      Value V = Stack.back();
+      Stack.pop_back();
+      Value Box = Stack.back();
+      assert(Box.isObject() && Box.asObject()->tag() == TypeTag::Box);
+      Box.asObject()->setBoxValue(V);
+      Stack.back() = Value::unspecified();
+      ++T.Pc;
+      break;
+    }
+
+    case Op::GlobalRef: {
+      Object *Sym =
+          T.CurCode->Constants[static_cast<size_t>(I.A)].asObject();
+      Value V = Sym->globalValue();
+      if (V.isUnbound())
+        return Raise(strFormat("unbound variable: %s",
+                               std::string(Sym->symbolText()).c_str()),
+                     0);
+      Stack.push_back(V);
+      ++T.Pc;
+      break;
+    }
+    case Op::GlobalSet: {
+      Object *Sym =
+          T.CurCode->Constants[static_cast<size_t>(I.A)].asObject();
+      if (Sym->globalValue().isUnbound())
+        return Raise(strFormat("set! of unbound variable: %s",
+                               std::string(Sym->symbolText()).c_str()),
+                     1);
+      Sym->setGlobalValue(Stack.back());
+      Stack.back() = Value::unspecified();
+      ++T.Pc;
+      break;
+    }
+    case Op::GlobalDefine: {
+      Object *Sym =
+          T.CurCode->Constants[static_cast<size_t>(I.A)].asObject();
+      Sym->setGlobalValue(Stack.back());
+      Stack.back() = Value::unspecified();
+      ++T.Pc;
+      break;
+    }
+
+    case Op::Closure: {
+      auto NFree = static_cast<uint32_t>(I.B);
+      uint64_t Cycles = NFree;
+      Object *Clo = E.tryAlloc(P, TypeTag::Closure, 1 + NFree, Cycles);
+      P.charge(Cycles);
+      if (!Clo)
+        return StepOutcome::NeedsGc;
+      Clo->setSlot(0, T.CurCode->Constants[static_cast<size_t>(I.A)]);
+      for (uint32_t K = 0; K < NFree; ++K)
+        Clo->setSlot(NFree - K, Stack[Stack.size() - 1 - K]);
+      Stack.resize(Stack.size() - NFree);
+      Stack.push_back(Value::object(Clo));
+      ++T.Pc;
+      break;
+    }
+
+    case Op::Jump:
+      T.Pc = static_cast<uint32_t>(I.A);
+      break;
+    case Op::JumpIfFalse: {
+      Value V = Stack.back();
+      Stack.pop_back();
+      if (V.isFalse())
+        T.Pc = static_cast<uint32_t>(I.A);
+      else
+        ++T.Pc;
+      break;
+    }
+
+    case Op::Call:
+    case Op::TailCall: {
+      auto N = static_cast<uint32_t>(I.A);
+      size_t FnIdx = Stack.size() - 1 - N;
+      Value Fn = Stack[FnIdx];
+      if (!isClosureV(Fn))
+        return Raise(strFormat("attempt to call a non-procedure: %s",
+                               valueToString(Fn).c_str()),
+                     N + 1);
+      const Code *Callee = Fn.asObject()->closureCode();
+      if (!Callee->Variadic && Callee->NumParams != N)
+        return Raise(strFormat("%s called with %u arguments, wants %u",
+                               Callee->Name.c_str(), N, Callee->NumParams),
+                     N + 1);
+      // The procedure-entry stack-overflow check (cost inside Call).
+      if (FnIdx + Callee->MaxFrameWords > E.config().MaxStackWords)
+        return Raise(strFormat("stack overflow in %s", Callee->Name.c_str()),
+                     N + 1);
+      if (I.Opcode == Op::Call) {
+        Frame F;
+        F.CallerCode = T.CurCode;
+        F.RetPc = T.Pc + 1;
+        F.Base = static_cast<uint32_t>(FnIdx);
+        T.Frames.push_back(F);
+      } else {
+        // Reuse the current frame: slide the callee and arguments down.
+        for (uint32_t K = 0; K <= N; ++K)
+          Stack[Base + K] = Stack[FnIdx + K];
+        Stack.resize(Base + N + 1);
+        // ORBIT compiles self-recursive tail calls (named-let loops) to
+        // plain branches; refund the call overhead down to a jump.
+        if (Callee == T.CurCode)
+          P.Clock -= cost::TailCall - cost::Jump,
+              P.BusyCycles -= cost::TailCall - cost::Jump;
+      }
+      T.CurCode = Callee;
+      T.Pc = 0;
+      break;
+    }
+
+    case Op::Return: {
+      Value Result = Stack.back();
+      Stack.pop_back();
+      Frame &F = T.Frames.back();
+      if (F.IsSeam) {
+        if (lazyfutures::onSeamReturn(E, P, T, F, Result))
+          return StepOutcome::TaskDone;
+      }
+      Frame Saved = F;
+      T.Frames.pop_back();
+      if (T.Frames.empty()) {
+        futureops::taskFinished(E, P, T, Result);
+        return StepOutcome::TaskDone;
+      }
+      Stack.resize(Saved.Base);
+      Stack.push_back(Result);
+      T.CurCode = Saved.CallerCode;
+      T.Pc = Saved.RetPc;
+      break;
+    }
+
+    case Op::TouchStack: {
+      Value &Slot = Stack[Stack.size() - 1 - static_cast<uint32_t>(I.A)];
+      int R = TouchSlot(Slot);
+      if (R == 1)
+        return StepOutcome::Blocked;
+      if (R == 2)
+        return StepOutcome::NeedsGc;
+      ++T.Pc;
+      break;
+    }
+    case Op::TouchLocal: {
+      Value &Slot = Stack[Base + static_cast<uint32_t>(I.A)];
+      int R = TouchSlot(Slot);
+      if (R == 1)
+        return StepOutcome::Blocked;
+      if (R == 2)
+        return StepOutcome::NeedsGc;
+      Stack.push_back(Slot);
+      ++T.Pc;
+      break;
+    }
+    case Op::TouchBack: {
+      Value &Slot = Stack[Stack.size() - 1 - static_cast<uint32_t>(I.A)];
+      int R = TouchSlot(Slot);
+      if (R == 1)
+        return StepOutcome::Blocked;
+      if (R == 2)
+        return StepOutcome::NeedsGc;
+      // Write the resolved value back to the variable's frame slot, so
+      // the optimizer's once-touched facts stay true.
+      Stack[Base + static_cast<uint32_t>(I.B)] = Slot;
+      ++T.Pc;
+      break;
+    }
+
+    case Op::FutureOp: {
+      // Step 1 of Table 1: the thunk was made by the preceding Closure
+      // instruction; *future dispatch is this op's base cost.
+      S.Steps.MakeThunkCycles += opBaseCost(Op::FutureOp) + cost::ClosureBase;
+      if (!futureops::onFutureOp(E, P, T))
+        return StepOutcome::NeedsGc;
+      break; // Pc already advanced / frame entered
+    }
+
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul: {
+      Value B2 = Stack[Stack.size() - 1];
+      Value A2 = Stack[Stack.size() - 2];
+      if (A2.isFixnum() && B2.isFixnum()) {
+        int64_t X = A2.asFixnum(), Y = B2.asFixnum(), R = 0;
+        bool Overflow = false;
+        switch (I.Opcode) {
+        case Op::Add:
+          Overflow = __builtin_add_overflow(X, Y, &R);
+          break;
+        case Op::Sub:
+          Overflow = __builtin_sub_overflow(X, Y, &R);
+          break;
+        default:
+          Overflow = __builtin_mul_overflow(X, Y, &R);
+          break;
+        }
+        if (!Overflow && Value::fitsFixnum(R)) {
+          Stack.pop_back();
+          Stack.back() = Value::fixnum(R);
+          ++T.Pc;
+          break;
+        }
+      }
+      if (!isNumber(A2) || !isNumber(B2))
+        return Raise(strFormat("%s: operand is not a number",
+                               opName(I.Opcode)),
+                     2);
+      // Flonum (or overflowing fixnum) path: allocate the boxed result
+      // first so the instruction stays restartable.
+      uint64_t Cycles = 0;
+      Object *F = E.tryAlloc(P, TypeTag::Flonum, 1, Cycles, Object::FlagRaw);
+      P.charge(Cycles);
+      if (!F)
+        return StepOutcome::NeedsGc;
+      double X = numAsDouble(A2), Y = numAsDouble(B2), R;
+      switch (I.Opcode) {
+      case Op::Add:
+        R = X + Y;
+        break;
+      case Op::Sub:
+        R = X - Y;
+        break;
+      default:
+        R = X * Y;
+        break;
+      }
+      F->setFlonumValue(R);
+      Stack.pop_back();
+      Stack.back() = Value::object(F);
+      ++T.Pc;
+      break;
+    }
+
+    case Op::Quotient:
+    case Op::Remainder: {
+      Value B2 = Stack[Stack.size() - 1];
+      Value A2 = Stack[Stack.size() - 2];
+      if (!A2.isFixnum() || !B2.isFixnum())
+        return Raise(strFormat("%s: operands must be fixnums",
+                               opName(I.Opcode)),
+                     2);
+      if (B2.asFixnum() == 0)
+        return Raise("division by zero", 2);
+      int64_t R = I.Opcode == Op::Quotient
+                      ? A2.asFixnum() / B2.asFixnum()
+                      : A2.asFixnum() % B2.asFixnum();
+      Stack.pop_back();
+      Stack.back() = Value::fixnum(R);
+      ++T.Pc;
+      break;
+    }
+
+    case Op::NumLt:
+    case Op::NumLe:
+    case Op::NumGt:
+    case Op::NumGe:
+    case Op::NumEq: {
+      Value B2 = Stack[Stack.size() - 1];
+      Value A2 = Stack[Stack.size() - 2];
+      bool R;
+      if (A2.isFixnum() && B2.isFixnum()) {
+        int64_t X = A2.asFixnum(), Y = B2.asFixnum();
+        switch (I.Opcode) {
+        case Op::NumLt: R = X < Y; break;
+        case Op::NumLe: R = X <= Y; break;
+        case Op::NumGt: R = X > Y; break;
+        case Op::NumGe: R = X >= Y; break;
+        default: R = X == Y; break;
+        }
+      } else if (isNumber(A2) && isNumber(B2)) {
+        double X = numAsDouble(A2), Y = numAsDouble(B2);
+        switch (I.Opcode) {
+        case Op::NumLt: R = X < Y; break;
+        case Op::NumLe: R = X <= Y; break;
+        case Op::NumGt: R = X > Y; break;
+        case Op::NumGe: R = X >= Y; break;
+        default: R = X == Y; break;
+        }
+      } else {
+        return Raise(strFormat("%s: operand is not a number",
+                               opName(I.Opcode)),
+                     2);
+      }
+      Stack.pop_back();
+      Stack.back() = Value::boolean(R);
+      ++T.Pc;
+      break;
+    }
+
+    case Op::Eq: {
+      Value B2 = Stack.back();
+      Stack.pop_back();
+      Stack.back() = Value::boolean(Stack.back().identical(B2));
+      ++T.Pc;
+      break;
+    }
+
+    case Op::Cons: {
+      uint64_t Cycles = 0;
+      Object *Pair = E.tryAlloc(P, TypeTag::Pair, 2, Cycles);
+      P.charge(Cycles);
+      if (!Pair)
+        return StepOutcome::NeedsGc;
+      Pair->setCdr(Stack.back());
+      Stack.pop_back();
+      Pair->setCar(Stack.back());
+      Stack.back() = Value::object(Pair);
+      ++T.Pc;
+      break;
+    }
+    case Op::Car:
+    case Op::Cdr: {
+      Value V = Stack.back();
+      if (!isPairV(V))
+        return Raise(strFormat("%s of a non-pair: %s", opName(I.Opcode),
+                               valueToString(V).c_str()),
+                     1);
+      Stack.back() =
+          I.Opcode == Op::Car ? V.asObject()->car() : V.asObject()->cdr();
+      ++T.Pc;
+      break;
+    }
+    case Op::SetCar:
+    case Op::SetCdr: {
+      Value V = Stack.back();
+      Value PairV = Stack[Stack.size() - 2];
+      if (!isPairV(PairV))
+        return Raise(strFormat("%s of a non-pair: %s", opName(I.Opcode),
+                               valueToString(PairV).c_str()),
+                     2);
+      if (I.Opcode == Op::SetCar)
+        PairV.asObject()->setCar(V);
+      else
+        PairV.asObject()->setCdr(V);
+      Stack.pop_back();
+      Stack.back() = Value::unspecified();
+      ++T.Pc;
+      break;
+    }
+
+    case Op::NullP:
+      Stack.back() = Value::boolean(Stack.back().isNil());
+      ++T.Pc;
+      break;
+    case Op::PairP:
+      Stack.back() = Value::boolean(isPairV(Stack.back()));
+      ++T.Pc;
+      break;
+    case Op::Not:
+      Stack.back() = Value::boolean(Stack.back().isFalse());
+      ++T.Pc;
+      break;
+
+    case Op::VectorRef: {
+      Value Idx = Stack.back();
+      Value Vec = Stack[Stack.size() - 2];
+      if (!isVectorV(Vec) || !Idx.isFixnum())
+        return Raise("vector-ref: bad vector or index", 2);
+      int64_t K = Idx.asFixnum();
+      if (K < 0 || K >= Vec.asObject()->vectorLength())
+        return Raise(strFormat("vector-ref: index %lld out of range",
+                               static_cast<long long>(K)),
+                     2);
+      Stack.pop_back();
+      Stack.back() = Vec.asObject()->vectorRef(K);
+      ++T.Pc;
+      break;
+    }
+    case Op::VectorSet: {
+      Value V = Stack.back();
+      Value Idx = Stack[Stack.size() - 2];
+      Value Vec = Stack[Stack.size() - 3];
+      if (!isVectorV(Vec) || !Idx.isFixnum())
+        return Raise("vector-set!: bad vector or index", 3);
+      int64_t K = Idx.asFixnum();
+      if (K < 0 || K >= Vec.asObject()->vectorLength())
+        return Raise(strFormat("vector-set!: index %lld out of range",
+                               static_cast<long long>(K)),
+                     3);
+      Vec.asObject()->vectorSet(K, V);
+      Stack.resize(Stack.size() - 3);
+      Stack.push_back(Value::unspecified());
+      ++T.Pc;
+      break;
+    }
+    case Op::VectorLength: {
+      Value Vec = Stack.back();
+      if (!isVectorV(Vec))
+        return Raise("vector-length: not a vector", 1);
+      Stack.back() = Value::fixnum(Vec.asObject()->vectorLength());
+      ++T.Pc;
+      break;
+    }
+
+    case Op::CallPrim: {
+      auto Argc = static_cast<uint32_t>(I.B);
+      const Value *Args = Stack.data() + (Stack.size() - Argc);
+      PrimResult R = callPrimitive(static_cast<PrimId>(I.A), E, P, T, Args,
+                                   Argc);
+      switch (R.S) {
+      case PrimResult::Status::Ok:
+        Stack.resize(Stack.size() - Argc);
+        Stack.push_back(R.V);
+        ++T.Pc;
+        break;
+      case PrimResult::Status::BlockedFuture: {
+        assert(R.V.isFuture());
+        if (!futureops::blockOnFuture(E, P, T, R.V.pointee()))
+          return StepOutcome::NeedsGc;
+        return StepOutcome::Blocked;
+      }
+      case PrimResult::Status::BlockedSemaphore:
+        return StepOutcome::Blocked;
+      case PrimResult::Status::NeedsGc:
+        return StepOutcome::NeedsGc;
+      case PrimResult::Status::Error:
+        return Raise(std::move(R.ErrorMsg), Argc);
+      case PrimResult::Status::Apply: {
+        // Replace the CallPrim with a real call: [fn a1..an] then enter.
+        Stack.resize(Stack.size() - Argc);
+        Stack.push_back(R.ApplyFn);
+        uint32_t N = 0;
+        for (Value L = R.ApplyArgs; !L.isNil(); L = L.asObject()->cdr()) {
+          Stack.push_back(L.asObject()->car());
+          ++N;
+        }
+        P.charge(2 + N);
+        if (!isClosureV(R.ApplyFn))
+          return Raise("apply: not a procedure", N + 1);
+        const Code *Callee = R.ApplyFn.asObject()->closureCode();
+        if (!Callee->Variadic && Callee->NumParams != N)
+          return Raise(strFormat("%s applied to %u arguments, wants %u",
+                                 Callee->Name.c_str(), N,
+                                 Callee->NumParams),
+                       N + 1);
+        Frame F;
+        F.CallerCode = T.CurCode;
+        F.RetPc = T.Pc + 1;
+        F.Base = static_cast<uint32_t>(Stack.size() - 1 - N);
+        T.Frames.push_back(F);
+        T.CurCode = Callee;
+        T.Pc = 0;
+        break;
+      }
+      }
+      break;
+    }
+
+    case Op::PrimApplyVar: {
+      // Body of a variadic primitive wrapper: the frame's arguments are
+      // everything above the closure slot.
+      auto Id = static_cast<PrimId>(I.A);
+      auto Argc = static_cast<uint32_t>(Stack.size() - Base - 1);
+      const PrimInfo &Info = primInfo(Id);
+      if (static_cast<int>(Argc) < Info.MinArgs ||
+          (Info.MaxArgs >= 0 && static_cast<int>(Argc) > Info.MaxArgs))
+        return Raise(strFormat("%s: wrong number of arguments (%u)",
+                               Info.Name, Argc),
+                     0);
+      const Value *Args = Stack.data() + Base + 1;
+      PrimResult R = callPrimitive(Id, E, P, T, Args, Argc);
+      switch (R.S) {
+      case PrimResult::Status::Ok:
+        Stack.push_back(R.V); // Return resizes to Base
+        ++T.Pc;
+        break;
+      case PrimResult::Status::BlockedFuture:
+        assert(R.V.isFuture());
+        if (!futureops::blockOnFuture(E, P, T, R.V.pointee()))
+          return StepOutcome::NeedsGc;
+        return StepOutcome::Blocked;
+      case PrimResult::Status::BlockedSemaphore:
+        return StepOutcome::Blocked;
+      case PrimResult::Status::NeedsGc:
+        return StepOutcome::NeedsGc;
+      case PrimResult::Status::Error:
+        return Raise(std::move(R.ErrorMsg), 0);
+      case PrimResult::Status::Apply:
+        return Raise("apply through a variadic wrapper is not supported",
+                     0);
+      }
+      break;
+    }
+    }
+  }
+  return StepOutcome::TimeSlice;
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Called primitives: the native tier of Mul-T's user library.
+///
+/// Called primitives perform their own implicit touches internally (they
+/// stand in for library code that ORBIT would compile with touch checks);
+/// when one encounters an unresolved future it returns Blocked and the
+/// whole primitive re-runs after the future resolves, so primitives must
+/// be side-effect-free up to their first possible block or allocation
+/// failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_VM_PRIMITIVES_H
+#define MULT_VM_PRIMITIVES_H
+
+#include "compiler/PrimTable.h"
+#include "core/Task.h"
+#include "runtime/Value.h"
+
+#include <string>
+
+namespace mult {
+
+class Engine;
+struct Processor;
+
+/// Outcome of a primitive call.
+struct PrimResult {
+  enum class Status : uint8_t {
+    Ok,
+    BlockedFuture,    ///< V holds the unresolved future; retry after wake.
+    BlockedSemaphore, ///< The primitive already parked the task.
+    NeedsGc,
+    Error,
+    Apply, ///< Tail-apply ApplyFn to the elements of ApplyArgs.
+  };
+  Status S = Status::Ok;
+  Value V = Value::unspecified();
+  std::string ErrorMsg;
+  Value ApplyFn = Value::nil();
+  Value ApplyArgs = Value::nil();
+
+  static PrimResult ok(Value V) { return PrimResult{Status::Ok, V, {}, {}, {}}; }
+  static PrimResult blockedOn(Value Fut) {
+    return PrimResult{Status::BlockedFuture, Fut, {}, {}, {}};
+  }
+  static PrimResult needsGc() {
+    return PrimResult{Status::NeedsGc, Value::unspecified(), {}, {}, {}};
+  }
+  static PrimResult error(std::string Msg) {
+    return PrimResult{Status::Error, Value::unspecified(), std::move(Msg),
+                      {}, {}};
+  }
+};
+
+/// Invokes primitive \p Id with \p Args. Cycle costs are charged to \p P.
+PrimResult callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
+                         const Value *Args, uint32_t Argc);
+
+} // namespace mult
+
+#endif // MULT_VM_PRIMITIVES_H

@@ -1,0 +1,132 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bytecode-level tests: disassembly, compiled-code shape, cost-model
+/// coverage, and the compiler facade's bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/CodeGen.h"
+#include "reader/Reader.h"
+#include "vm/CostModel.h"
+
+#include "TestUtil.h"
+
+using namespace mult;
+using namespace mult::testutil;
+
+namespace {
+
+/// Compiles one form with default options; returns the whole listing.
+struct Compiled {
+  std::string Listing;
+  CompileStats Stats;
+  const Code *Top;
+};
+
+Compiled compileOne(std::string_view Src) {
+  static Heap H{Heap::Config{}};
+  static SymbolTable Syms(H);
+  static DatumBuilder B(H, Syms);
+  CodeRegistry Reg(H);
+  Compiler C(B, Reg, CompilerOptions{});
+  Reader R(B, Src);
+  ReadResult RR = R.read();
+  EXPECT_TRUE(RR.ok()) << RR.Error;
+  Compiler::Result CR = C.compile(RR.Datum);
+  EXPECT_TRUE(CR.ok()) << CR.Error;
+  Compiled Out;
+  for (size_t I = 0; I < Reg.size(); ++I)
+    Out.Listing += disassemble(*Reg.at(I));
+  Out.Stats = C.stats();
+  Out.Top = CR.TopCode;
+  return Out;
+}
+
+TEST(BytecodeTest, EveryOpcodeHasANameAndACost) {
+  for (int O = 0; O <= static_cast<int>(Op::PrimApplyVar); ++O) {
+    Op Opc = static_cast<Op>(O);
+    EXPECT_STRNE(opName(Opc), "bad-op") << O;
+    EXPECT_GE(opBaseCost(Opc), 1u) << opName(Opc);
+  }
+}
+
+TEST(BytecodeTest, TouchCostsTwoInstructions) {
+  // The paper's pivotal constant: tbit + beq.
+  EXPECT_EQ(opBaseCost(Op::TouchStack), 2u);
+  EXPECT_EQ(opBaseCost(Op::TouchLocal), 2u);
+  EXPECT_EQ(opBaseCost(Op::TouchBack), 2u);
+}
+
+TEST(BytecodeTest, TrivialCallAnchors) {
+  // Call(4) + PushFixnum(1) + Return(3) = the paper's 8-instruction
+  // trivial procedure call.
+  EXPECT_EQ(opBaseCost(Op::Call) + opBaseCost(Op::PushFixnum) +
+                opBaseCost(Op::Return),
+            8u);
+}
+
+TEST(BytecodeTest, DisassemblyIsReadable) {
+  Compiled C = compileOne("(define (f x) (if (< x 2) x (f (- x 1))))");
+  EXPECT_NE(C.Listing.find("f (params 1"), std::string::npos) << C.Listing;
+  EXPECT_NE(C.Listing.find("jump-if-false"), std::string::npos);
+  EXPECT_NE(C.Listing.find("tail-call"), std::string::npos);
+  EXPECT_NE(C.Listing.find("global-define"), std::string::npos);
+}
+
+TEST(BytecodeTest, ConstantsAreDeduplicated) {
+  // All three uses of 'k share one constant-pool slot (index 0).
+  Compiled C = compileOne("(lambda () (list 'k 'k 'k))");
+  size_t Count = 0;
+  for (size_t P = C.Listing.find("const           0  ; k");
+       P != std::string::npos;
+       P = C.Listing.find("const           0  ; k", P + 1))
+    ++Count;
+  EXPECT_EQ(Count, 3u) << C.Listing;
+}
+
+TEST(BytecodeTest, MaxFrameWordsBoundsTheStack) {
+  Compiled C = compileOne("(lambda (a b) (+ a (+ b (+ a b))))");
+  // Frame: closure + 2 params + operand depth; conservative but present.
+  const Code *Lambda = nullptr;
+  (void)Lambda;
+  EXPECT_GE(C.Top->MaxFrameWords, 1u);
+}
+
+TEST(BytecodeTest, SlideEndsExpressionLets) {
+  Compiled C = compileOne("(lambda (a) (+ a (let ((x 1)) x)))");
+  EXPECT_NE(C.Listing.find("slide"), std::string::npos) << C.Listing;
+}
+
+TEST(BytecodeTest, TailLetsDontSlide) {
+  Compiled C = compileOne("(lambda (a) (let ((x a)) x))");
+  EXPECT_EQ(C.Listing.find("slide"), std::string::npos) << C.Listing;
+}
+
+TEST(BytecodeTest, BoxedParamsGetEntryPrologue) {
+  Compiled C = compileOne("(lambda (a) (set! a 1) a)");
+  EXPECT_NE(C.Listing.find("make-box"), std::string::npos);
+  EXPECT_NE(C.Listing.find("set-local"), std::string::npos);
+  EXPECT_NE(C.Listing.find("box-set"), std::string::npos);
+}
+
+TEST(BytecodeTest, FutureThunkIsAChildTemplate) {
+  Compiled C = compileOne("(lambda (x) (future (* x x)))");
+  EXPECT_NE(C.Listing.find("future-thunk"), std::string::npos)
+      << C.Listing;
+  // The thunk captures x once.
+  EXPECT_NE(C.Listing.find("closure"), std::string::npos);
+}
+
+TEST(BytecodeTest, NaryArithmeticFolds) {
+  Compiled C = compileOne("(lambda () (+ 1 2 3 4))");
+  // Three adds, no call-prim.
+  size_t Count = 0;
+  for (size_t P = C.Listing.find("  add");
+       P != std::string::npos; P = C.Listing.find("  add", P + 1))
+    ++Count;
+  EXPECT_EQ(Count, 3u) << C.Listing;
+  EXPECT_EQ(C.Listing.find("call-prim"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,276 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiler pipeline tests: expander output, analyzer diagnostics,
+/// bytecode shape, and the touch optimizer (paper section 2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/CodeGen.h"
+#include "compiler/Expander.h"
+#include "reader/Reader.h"
+
+#include "TestUtil.h"
+
+using namespace mult;
+using namespace mult::testutil;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Expander
+//===----------------------------------------------------------------------===//
+
+class ExpanderTest : public ::testing::Test {
+protected:
+  ExpanderTest()
+      : H(Heap::Config{}), Syms(H), B(H, Syms), Exp(B) {}
+
+  std::string expand(std::string_view Src) {
+    Reader R(B, Src);
+    ReadResult RR = R.read();
+    EXPECT_TRUE(RR.ok()) << RR.Error;
+    Expander::Result ER = Exp.expand(RR.Datum);
+    EXPECT_TRUE(ER.Ok) << ER.Error;
+    return ER.Ok ? valueToString(ER.Datum) : "<error>";
+  }
+
+  std::string expandError(std::string_view Src) {
+    Reader R(B, Src);
+    ReadResult RR = R.read();
+    EXPECT_TRUE(RR.ok());
+    Expander::Result ER = Exp.expand(RR.Datum);
+    EXPECT_FALSE(ER.Ok) << "expected expansion failure for: " << Src;
+    return ER.Error;
+  }
+
+  Heap H;
+  SymbolTable Syms;
+  DatumBuilder B;
+  Expander Exp;
+};
+
+TEST_F(ExpanderTest, CoreFormsPassThrough) {
+  EXPECT_EQ(expand("(if a b c)"), "(if a b c)");
+  EXPECT_EQ(expand("(quote (let x))"), "(quote (let x))");
+  EXPECT_EQ(expand("(lambda (x) x)"), "(lambda (x) x)");
+}
+
+TEST_F(ExpanderTest, DerivedForms) {
+  EXPECT_EQ(expand("(when t a b)"), "(if t (begin a b) #f)");
+  EXPECT_EQ(expand("(unless t a)"), "(if t #f (begin a))");
+  EXPECT_EQ(expand("(and)"), "#t");
+  EXPECT_EQ(expand("(and a)"), "a");
+  EXPECT_EQ(expand("(and a b)"), "(if a b #f)");
+  EXPECT_EQ(expand("(or)"), "#f");
+  EXPECT_EQ(expand("(cond (else 1))"), "(begin 1)");
+  EXPECT_EQ(expand("(let* () 5)"), "(let () 5)");
+  // define procedure sugar.
+  EXPECT_EQ(expand("(define (f x) x)"), "(define f (lambda (x) x))");
+  // Multi-form bodies become begins.
+  EXPECT_EQ(expand("(lambda (x) a b)"), "(lambda (x) (begin a b))");
+}
+
+TEST_F(ExpanderTest, LetrecViaBoxes) {
+  std::string S = expand("(letrec ((f 1)) f)");
+  EXPECT_NE(S.find("(let ((f #f)) (begin (set! f 1) f))"),
+            std::string::npos)
+      << S;
+}
+
+TEST_F(ExpanderTest, NamedLetBecomesRecursion) {
+  std::string S = expand("(let loop ((i 0)) (loop i))");
+  EXPECT_NE(S.find("lambda"), std::string::npos);
+  EXPECT_NE(S.find("set! loop"), std::string::npos);
+}
+
+TEST_F(ExpanderTest, GensymsCannotCollide) {
+  std::string S = expand("(or a b)");
+  EXPECT_NE(S.find("#:"), std::string::npos)
+      << "expander temporaries use the unreadable #: prefix: " << S;
+}
+
+TEST_F(ExpanderTest, BindUsesDeepBindingPrims) {
+  std::string S = expand("(bind ((v 1)) v)");
+  EXPECT_NE(S.find("%dyn-push"), std::string::npos) << S;
+  EXPECT_NE(S.find("%dyn-pop"), std::string::npos) << S;
+}
+
+TEST_F(ExpanderTest, Errors) {
+  expandError("(if)");
+  expandError("(set! 3 4)");
+  expandError("(let ((x 1 2)) x)");
+  expandError("(do x y)");
+  expandError("(unquote x)");
+  expandError("(define-fluid 3 4)");
+}
+
+//===----------------------------------------------------------------------===//
+// Code generation and the touch optimizer
+//===----------------------------------------------------------------------===//
+
+/// Compiles one form under the given options and returns the compile
+/// stats plus disassembly of every template created.
+struct CompileOutput {
+  CompileStats Stats;
+  std::string Listing;
+  bool Ok;
+  std::string Error;
+};
+
+CompileOutput compileWith(std::string_view Src, bool Touches, bool Optimize) {
+  Heap H{Heap::Config{}};
+  SymbolTable Syms(H);
+  DatumBuilder B(H, Syms);
+  CodeRegistry Reg(H);
+  CompilerOptions Opts;
+  Opts.EmitTouchChecks = Touches;
+  Opts.OptimizeTouches = Optimize;
+  Compiler C(B, Reg, Opts);
+
+  Reader R(B, Src);
+  ReadResult RR = R.read();
+  EXPECT_TRUE(RR.ok()) << RR.Error;
+  Compiler::Result CR = C.compile(RR.Datum);
+  CompileOutput Out;
+  Out.Ok = CR.ok();
+  Out.Error = CR.Error;
+  Out.Stats = C.stats();
+  for (size_t I = 0; I < Reg.size(); ++I)
+    Out.Listing += disassemble(*Reg.at(I));
+  return Out;
+}
+
+TEST(TouchOptTest, TouchesDoubleCheckEveryStrictOperand) {
+  // (+ a b) with unknown a, b: two touches.
+  auto Out = compileWith("(lambda (a b) (+ a b))", true, false);
+  EXPECT_EQ(Out.Stats.StrictPositions, 2u);
+  EXPECT_EQ(Out.Stats.TouchesEmitted, 2u);
+  EXPECT_EQ(Out.Stats.TouchesEliminated, 0u);
+}
+
+TEST(TouchOptTest, ConstantsNeedNoTouch) {
+  auto Out = compileWith("(lambda () (+ 1 2))", true, true);
+  EXPECT_EQ(Out.Stats.TouchesEliminated, 2u);
+  EXPECT_EQ(Out.Stats.TouchesEmitted, 0u);
+}
+
+TEST(TouchOptTest, OnceTestedNotTestedAgain) {
+  // The paper's exact claim: "if a value has been tested once, it doesn't
+  // need to be tested the next time it is referenced."
+  auto Out = compileWith("(lambda (a) (+ (+ a 1) (+ a 2)))", true, true);
+  // Strict positions: six operand slots (two inner adds and the outer
+  // add); 'a' touched once, its second use free; constants and the inner
+  // results are non-future.
+  EXPECT_EQ(Out.Stats.StrictPositions, 6u);
+  EXPECT_EQ(Out.Stats.TouchesEmitted, 1u);
+  EXPECT_EQ(Out.Stats.TouchesEliminated, 5u);
+}
+
+TEST(TouchOptTest, ArithmeticResultsAreNonFuture) {
+  auto Out = compileWith("(lambda (a b) (+ (+ a b) (* a b)))", true, true);
+  // a and b touched once each; their later uses and the two inner
+  // results are free.
+  EXPECT_EQ(Out.Stats.TouchesEmitted, 2u);
+}
+
+TEST(TouchOptTest, CarResultsAreUnknown) {
+  // Structures store futures without touching, so (car x) may yield a
+  // future even after x was touched.
+  auto Out = compileWith("(lambda (p) (+ (car p) 1))", true, true);
+  // p touched for car; the car result touched for +; constant free.
+  EXPECT_EQ(Out.Stats.TouchesEmitted, 2u);
+}
+
+TEST(TouchOptTest, IfJoinsMeetFacts) {
+  // The variable is touched on only one path; after the join it is
+  // unknown again.
+  auto Out = compileWith(
+      "(lambda (a c) (begin (if c (+ a 1) 0) (+ a 2)))", true, true);
+  // touches: c (if test), a (then-branch +), a again after join.
+  EXPECT_EQ(Out.Stats.TouchesEmitted, 3u);
+
+  // Touched on *both* paths: no re-touch after the join.
+  auto Out2 = compileWith(
+      "(lambda (a c) (begin (if c (+ a 1) (+ a 2)) (+ a 3)))", true, true);
+  EXPECT_EQ(Out2.Stats.TouchesEmitted, 3u); // c, a(then), a(else); join free
+}
+
+TEST(TouchOptTest, FactsDoNotCrossLambdas) {
+  // The inner lambda runs later, possibly with a future rebound... the
+  // capture is a snapshot, but analysis is first-order: fresh facts.
+  auto Out = compileWith(
+      "(lambda (a) (begin (+ a 1) (lambda () (+ a 2))))", true, true);
+  EXPECT_EQ(Out.Stats.TouchesEmitted, 2u); // once outside, once inside
+}
+
+TEST(TouchOptTest, BoxedVariablesAlwaysTouch) {
+  // An assigned variable may be overwritten with a future by another
+  // task: every use re-touches.
+  auto Out = compileWith(
+      "(lambda (a) (begin (set! a (+ a 1)) (+ a 1) (+ a 2)))", true, true);
+  // Uses of a: 3 strict positions, all touched (boxed).
+  EXPECT_EQ(Out.Stats.TouchesEmitted, 3u);
+}
+
+TEST(TouchOptTest, T3ModeEmitsNoTouches) {
+  auto Out = compileWith("(lambda (a b) (+ (car a) (cdr b)))", false, false);
+  EXPECT_EQ(Out.Stats.TouchesEmitted, 0u);
+  EXPECT_EQ(Out.Stats.StrictPositions, 0u);
+  EXPECT_EQ(Out.Listing.find("touch"), std::string::npos) << Out.Listing;
+}
+
+TEST(TouchOptTest, TouchBackFusion) {
+  // Strict use of an unboxed local compiles to the write-back touch so
+  // later uses can skip their checks.
+  auto Out = compileWith("(lambda (a) (+ a 1))", true, true);
+  EXPECT_NE(Out.Listing.find("touch-back"), std::string::npos)
+      << Out.Listing;
+}
+
+TEST(CodeGenTest, TrivialCallCostShape) {
+  // ((lambda () 0)) must compile to closure + call + const + return.
+  auto Out = compileWith("((lambda () 0))", true, true);
+  EXPECT_NE(Out.Listing.find("tail-call"), std::string::npos) << Out.Listing;
+  EXPECT_NE(Out.Listing.find("push-fixnum"), std::string::npos);
+}
+
+TEST(CodeGenTest, FutureCompilesToClosurePlusFutureOp) {
+  // (future X) == (*future (lambda () X)): closure creation then the
+  // runtime call (paper section 2.2.1).
+  auto Out = compileWith("(lambda (x) (future (+ x 1)))", true, true);
+  EXPECT_NE(Out.Listing.find("closure"), std::string::npos);
+  EXPECT_NE(Out.Listing.find("future"), std::string::npos);
+}
+
+TEST(CodeGenTest, FreeVariablesAreCopiedIntoClosures) {
+  auto Out = compileWith("(lambda (x y) (lambda () (+ x y)))", true, true);
+  // The inner template reads its captures via `free`.
+  EXPECT_NE(Out.Listing.find("free"), std::string::npos) << Out.Listing;
+}
+
+TEST(CodeGenTest, TailPositionsUseTailCall) {
+  auto Out = compileWith("(define (loop i) (loop (+ i 1)))", true, true);
+  EXPECT_NE(Out.Listing.find("tail-call"), std::string::npos);
+}
+
+TEST(CodeGenTest, NonIntegrableAfterUserDefine) {
+  // Compile two forms with the same compiler: after (define car ...) the
+  // second form calls the global, not the primitive.
+  Heap H{Heap::Config{}};
+  SymbolTable Syms(H);
+  DatumBuilder B(H, Syms);
+  CodeRegistry Reg(H);
+  Compiler C(B, Reg, CompilerOptions{});
+  Reader R(B, "(define (car x) 'mine) (car 5)");
+  std::string Err;
+  std::vector<Value> Forms = R.readAll(Err);
+  ASSERT_EQ(Forms.size(), 2u);
+  ASSERT_TRUE(C.compile(Forms[0]).ok());
+  Compiler::Result Second = C.compile(Forms[1]);
+  ASSERT_TRUE(Second.ok());
+  std::string Listing = disassemble(*Second.TopCode);
+  EXPECT_NE(Listing.find("global-ref"), std::string::npos) << Listing;
+}
+
+} // namespace

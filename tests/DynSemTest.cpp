@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep dynamic binding (paper section 2.1.1) and semaphores (section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mult;
+using namespace mult::testutil;
+
+namespace {
+
+class FluidTest : public ::testing::Test {
+protected:
+  FluidTest() : E(config(2)) {}
+  Engine E;
+};
+
+TEST_F(FluidTest, DefaultsAndBinds) {
+  evalOk(E, "(define-fluid radix 10)");
+  EXPECT_EQ(evalFixnum(E, "(fluid radix)"), 10);
+  EXPECT_EQ(evalFixnum(E, "(bind ((radix 16)) (fluid radix))"), 16);
+  EXPECT_EQ(evalFixnum(E, "(fluid radix)"), 10) << "bind must unwind";
+}
+
+TEST_F(FluidTest, BindNests) {
+  evalOk(E, "(define-fluid depth 0)");
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (bind ((depth 1))
+      (list (fluid depth)
+            (bind ((depth 2)) (fluid depth))
+            (fluid depth)))
+  )lisp"),
+            "(1 2 1)");
+}
+
+TEST_F(FluidTest, SetFluidMutatesInnermostBinding) {
+  evalOk(E, "(define-fluid x 'top)");
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (bind ((x 'inner))
+      (set-fluid! x 'changed)
+      (fluid x))
+  )lisp"),
+            "changed");
+  EXPECT_EQ(evalPrint(E, "(fluid x)"), "top");
+}
+
+TEST_F(FluidTest, DynamicLookupSeesCallersBinding) {
+  // Deep binding: the callee reads the caller's dynamic binding, not a
+  // lexical one.
+  evalOk(E, "(define-fluid mode 'plain)");
+  evalOk(E, "(define (show) (fluid mode))");
+  EXPECT_EQ(evalPrint(E, "(bind ((mode 'fancy)) (show))"), "fancy");
+}
+
+TEST_F(FluidTest, TasksHaveTheirOwnBindings) {
+  // "the variable should not be shared between instantiations": each task
+  // re-binding a fluid is isolated from its siblings.
+  evalOk(E, "(define-fluid slot 'default)");
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (let ((a (future (bind ((slot 'task-a)) (fluid slot))))
+          (b (future (bind ((slot 'task-b)) (fluid slot)))))
+      (list (touch a) (touch b) (fluid slot)))
+  )lisp"),
+            "(task-a task-b default)");
+}
+
+TEST_F(FluidTest, ChildSeesBindingAtCreationTime) {
+  evalOk(E, "(define-fluid who 'outer)");
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (bind ((who 'creator))
+      (let ((f (future (fluid who))))
+        (touch f)))
+  )lisp"),
+            "creator");
+}
+
+TEST_F(FluidTest, UnboundFluidIsAnError) {
+  evalErr(E, "(fluid never-defined)", EvalResult::Kind::RuntimeError);
+}
+
+class SemaphoreTest : public ::testing::Test {
+protected:
+  SemaphoreTest() : E(config(2)) {}
+  Engine E;
+};
+
+TEST_F(SemaphoreTest, CountingBasics) {
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (let ((s (make-semaphore 2)))
+      (semaphore-p s)
+      (semaphore-p s)
+      (semaphore-v s)
+      (semaphore-p s)
+      'ok)
+  )lisp"),
+            "ok");
+}
+
+TEST_F(SemaphoreTest, PBlocksUntilV) {
+  EXPECT_EQ(evalFixnum(E, R"lisp(
+    (let ((s (make-semaphore))
+          (cell (cons 0 '())))
+      (let ((child (future (begin (semaphore-p s) (car cell)))))
+        (set-car! cell 77)
+        (semaphore-v s)
+        (touch child)))
+  )lisp"),
+            77);
+}
+
+TEST_F(SemaphoreTest, MutualExclusionProtectsACounter) {
+  // Two increments of a shared cell under a lock: no lost update in the
+  // interleaved schedule.
+  EXPECT_EQ(evalFixnum(E, R"lisp(
+    (let ((lock (make-semaphore 1))
+          (cell (cons 0 '())))
+      (define (bump n)
+        (if (= n 0)
+            'done
+            (begin (semaphore-p lock)
+                   (set-car! cell (+ (car cell) 1))
+                   (semaphore-v lock)
+                   (bump (- n 1)))))
+      (let ((a (future (bump 25)))
+            (b (future (bump 25))))
+        (touch a) (touch b)
+        (car cell)))
+  )lisp"),
+            50);
+}
+
+TEST_F(SemaphoreTest, WaitersWakeInFifoOrder) {
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (let ((s (make-semaphore))
+          (order (cons '() '())))
+      (define (waiter tag)
+        (future (begin (semaphore-p s)
+                       (set-car! order (cons tag (car order)))
+                       (semaphore-v s))))
+      (let ((a (waiter 'a)))
+        (let ((b (waiter 'b)))
+          ;; give both a chance to block
+          (let spin ((i 0)) (if (< i 3000) (spin (+ i 1)) #t))
+          (semaphore-v s)
+          (touch a) (touch b)
+          (reverse (car order)))))
+  )lisp"),
+            "(a b)");
+}
+
+TEST_F(SemaphoreTest, TypeErrors) {
+  evalErr(E, "(semaphore-p 3)", EvalResult::Kind::RuntimeError);
+  evalErr(E, "(semaphore-v '(1))", EvalResult::Kind::RuntimeError);
+  evalErr(E, "(make-semaphore -1)", EvalResult::Kind::RuntimeError);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge cases across the language and runtime: arithmetic boundaries,
+/// deep structures, shadowing, variadic primitive wrappers, `let` in
+/// operand positions (the Slide instruction), and failure injection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mult;
+using namespace mult::testutil;
+
+namespace {
+
+class EdgeTest : public ::testing::Test {
+protected:
+  EdgeTest() : E(config(2)) {}
+  Engine E;
+};
+
+TEST_F(EdgeTest, ArithmeticBoundaries) {
+  // 61-bit fixnum edges.
+  EXPECT_EQ(evalPrint(E, "(- 0 1152921504606846975)"),
+            "-1152921504606846975");
+  // Overflow promotes to flonum instead of wrapping.
+  Value V = evalOk(E, "(+ 1152921504606846975 1152921504606846975)");
+  EXPECT_TRUE(V.isObject() && V.asObject()->tag() == TypeTag::Flonum);
+  // Negative division truncates toward zero (quotient/remainder).
+  EXPECT_EQ(evalFixnum(E, "(quotient -7 2)"), -3);
+  EXPECT_EQ(evalFixnum(E, "(remainder -7 2)"), -1);
+  EXPECT_EQ(evalFixnum(E, "(modulo -7 2)"), 1);
+  // Mixed comparisons.
+  EXPECT_EQ(evalPrint(E, "(< 1 1.5)"), "#t");
+  EXPECT_EQ(evalPrint(E, "(= 2 2.0)"), "#t");
+}
+
+TEST_F(EdgeTest, LetInsideOperandPositions) {
+  // The Slide instruction: a let's locals must not shift later operands.
+  EXPECT_EQ(evalFixnum(E, "(+ 1 (let ((x 2)) x) 3)"), 6);
+  EXPECT_EQ(evalPrint(E, "(list (let ((a 1)) a) (let ((b 2) (c 3)) "
+                         "(+ b c)) 9)"),
+            "(1 5 9)");
+  EXPECT_EQ(evalFixnum(E, "((let ((f (lambda (x) (* x 2)))) f) "
+                          "(let ((y 21)) y))"),
+            42);
+  // Nested lets in arguments of calls.
+  evalOk(E, "(define (three a b c) (list a b c))");
+  EXPECT_EQ(evalPrint(E, "(three (let ((x 'a)) x) (let ((y (let ((z 'b)) "
+                         "z))) y) 'c)"),
+            "(a b c)");
+}
+
+TEST_F(EdgeTest, VariadicPrimitiveWrappers) {
+  EXPECT_EQ(evalFixnum(E, "(apply + '(1 2 3 4))"), 10);
+  EXPECT_EQ(evalFixnum(E, "(apply - '(10 1 2))"), 7);
+  EXPECT_EQ(evalFixnum(E, "(apply * '())"), 1);
+  EXPECT_EQ(evalPrint(E, "(apply list '(1 2))"), "(1 2)");
+  EXPECT_EQ(evalPrint(E, "(apply append '((1) (2 3)))"), "(1 2 3)");
+  EXPECT_EQ(evalFixnum(E, "(apply max '(3 9 2))"), 9);
+  // Wrapped wrappers still check arity.
+  evalErr(E, "(apply car '(1 2 3))", EvalResult::Kind::RuntimeError);
+  // And flow as values through data structures.
+  EXPECT_EQ(evalPrint(E, "(map (car (list + *)) '(1 2) )"), "(1 2)");
+}
+
+TEST_F(EdgeTest, ShadowingSpecialFormNames) {
+  // A lexical binding shadows a special-form keyword in call position.
+  EXPECT_EQ(evalFixnum(E, "(let ((future (lambda (x) (* x 10)))) "
+                          "(future 4))"),
+            40);
+}
+
+TEST_F(EdgeTest, DeepStructures) {
+  // 20k-element list: build, measure, reverse, survive GC pressure.
+  EngineConfig C = config(1);
+  C.HeapWords = 1 << 17; // the 30k-pair list + its reversal don't both fit
+  Engine E2(C);
+  EXPECT_EQ(evalFixnum(E2, R"lisp(
+    (define (build n acc) (if (= n 0) acc (build (- n 1) (cons n acc))))
+    (define (rev l acc) (if (null? l) acc (rev (cdr l) (cons (car l) acc))))
+    (length (rev (build 30000 '()) '()))
+  )lisp"),
+            30000);
+  EXPECT_GE(E2.gcStats().Collections, 1u);
+}
+
+TEST_F(EdgeTest, ClosureCapturesAreSnapshots) {
+  // Unassigned variables are captured by value (flat closures).
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (define (make-counters)
+      (let loop ((i 0) (acc '()))
+        (if (= i 3)
+            (reverse acc)
+            (loop (+ i 1) (cons (lambda () i) acc)))))
+    (map (lambda (f) (f)) (make-counters))
+  )lisp"),
+            "(0 1 2)");
+}
+
+TEST_F(EdgeTest, MutualRecursionThroughLetrec) {
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1)))))
+             (odd?  (lambda (n) (if (= n 0) #f (even? (- n 1))))))
+      (list (even? 100) (odd? 100)))
+  )lisp"),
+            "(#t #f)");
+}
+
+TEST_F(EdgeTest, FuturesInsideEveryDataStructure) {
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (define v (vector (future 1) (future 2)))
+    (define p (cons (future 'a) (future 'b)))
+    (list (+ (vector-ref v 0) (vector-ref v 1))
+          (eq? (car p) 'a)
+          (eq? (cdr p) 'b))
+  )lisp"),
+            "(3 #t #t)");
+}
+
+TEST_F(EdgeTest, EqualChasesFuturesInsideStructures) {
+  // Library equality behaves like compiled code with implicit touches:
+  // it forces placeholders met inside the structure.
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (equal? (list 1 (future (list 2 3)) 4)
+            (list (future 1) (list 2 (future 3)) 4))
+  )lisp"),
+            "#t");
+  // member/assoc return the original tail/entry: its slot may still hold
+  // the (resolved) placeholder, which strict consumers chase.
+  EXPECT_EQ(evalPrint(E, "(equal? (car (member '(2) (list (future '(1)) "
+                         "(future '(2))))) '(2))"),
+            "#t");
+  EXPECT_EQ(evalFixnum(E, "(cdr (assoc '(k) (list (cons (future '(k)) "
+                          "7))))"),
+            7);
+}
+
+TEST_F(EdgeTest, ErrorsInsideChildTasksStopTheGroup) {
+  EvalResult R = E.eval("(touch (future (car 'boom)))");
+  ASSERT_EQ(static_cast<int>(R.K),
+            static_cast<int>(EvalResult::Kind::RuntimeError));
+  // Resume supplies the child's value; the parent's touch then yields it.
+  EvalResult After = E.resumeGroup(R.StoppedGroup, Value::fixnum(5));
+  ASSERT_TRUE(After.ok()) << After.Error;
+  EXPECT_EQ(After.Val.asFixnum(), 5);
+}
+
+TEST_F(EdgeTest, StringsAndSymbolsInterplay) {
+  EXPECT_EQ(evalPrint(E, "(eq? (string->symbol \"abc\") 'abc)"), "#t");
+  EXPECT_EQ(evalPrint(E,
+                      "(string->symbol (string-append \"foo\" \"-\" "
+                      "(number->string 42)))"),
+            "foo-42");
+  EXPECT_EQ(evalPrint(E, "(eq? (string->symbol \"x\") "
+                         "(string->symbol \"x\"))"),
+            "#t");
+}
+
+TEST_F(EdgeTest, QuotedDataIsShared) {
+  evalOk(E, "(define (get-q) '(shared))");
+  EXPECT_EQ(evalPrint(E, "(eq? (get-q) (get-q))"), "#t");
+}
+
+TEST_F(EdgeTest, BeginSequencingOrder) {
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (define order '())
+    (define (note x) (set! order (cons x order)) x)
+    (begin (note 1) (note 2) (note 3))
+    (reverse order)
+  )lisp"),
+            "(1 2 3)");
+}
+
+TEST_F(EdgeTest, LargeVectorsUseTheGlobalHeapPath) {
+  // Vectors over the large-object threshold bypass chunks (section
+  // 2.1.2) but behave identically.
+  EngineConfig C = config(1);
+  C.LargeObjectWords = 64;
+  Engine E2(C);
+  EXPECT_EQ(evalFixnum(E2, R"lisp(
+    (define v (make-vector 500 1))
+    (let loop ((i 0) (acc 0))
+      (if (= i 500) acc (loop (+ i 1) (+ acc (vector-ref v i)))))
+  )lisp"),
+            500);
+}
+
+TEST_F(EdgeTest, DisplayOfEveryValueKind) {
+  evalOk(E, R"lisp(
+    (begin
+      (display 1) (display " ") (display 'sym) (display " ")
+      (display "str") (display " ") (display #\c) (display " ")
+      (display '(1 . 2)) (display " ") (display #(1 2)) (display " ")
+      (display #t) (display " ") (display '()) (display " ")
+      (display car))
+  )lisp");
+  EXPECT_EQ(E.takeOutput(), "1 sym str c (1 . 2) #(1 2) #t () #[procedure]");
+}
+
+TEST_F(EdgeTest, WriteQuotesStringsAndChars) {
+  evalOk(E, "(write (list \"s\" #\\x))");
+  EXPECT_EQ(E.takeOutput(), "(\"s\" #\\x)");
+}
+
+TEST_F(EdgeTest, RecursionThroughApply) {
+  EXPECT_EQ(evalFixnum(E, R"lisp(
+    (define (down n) (if (= n 0) 0 (apply down (list (- n 1)))))
+    (down 500)
+  )lisp"),
+            0);
+}
+
+} // namespace

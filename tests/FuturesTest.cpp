@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantics of `future`, `touch`, implicit touches and blocking — the
+/// paper's core constructs (sections 1.1, 4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mult;
+using namespace mult::testutil;
+
+namespace {
+
+class FuturesTest : public ::testing::Test {
+protected:
+  FuturesTest() : E(config(2)) {}
+  Engine E;
+};
+
+TEST_F(FuturesTest, TouchOfFutureYieldsValue) {
+  EXPECT_EQ(evalFixnum(E, "(touch (future 42))"), 42);
+  EXPECT_EQ(E.stats().FuturesCreated, 1u);
+  EXPECT_EQ(E.stats().FuturesResolved, 1u);
+}
+
+TEST_F(FuturesTest, NonStrictOperationsPassFuturesThrough) {
+  // cons does not touch: the future flows into the pair unresolved.
+  evalOk(E, "(define p (cons (future (* 6 7)) '()))");
+  // future? tests the tag bit without touching.
+  Value IsFut = evalOk(E, "(future? (car p))");
+  // By now the child very likely ran, but the slot still holds the
+  // future-tagged pointer either way; future? sees the tag.
+  EXPECT_TRUE(IsFut.isBoolean());
+  // A strict operation touches and gets the value.
+  EXPECT_EQ(evalFixnum(E, "(+ 0 (car p))"), 42);
+}
+
+TEST_F(FuturesTest, ImplicitTouchOnStrictOps) {
+  EXPECT_EQ(evalFixnum(E, "(+ (future 1) (future 2))"), 3);
+  EXPECT_EQ(evalPrint(E, "(car (future '(5)))"), "5");
+  EXPECT_EQ(evalPrint(E, "(if (future #f) 'yes 'no)"), "no");
+  EXPECT_EQ(evalPrint(E, "(eq? (future 'a) (future 'a))"), "#t");
+  EXPECT_EQ(evalPrint(E, "(null? (future '()))"), "#t");
+  EXPECT_EQ(evalFixnum(E, "(vector-ref (future #(7)) (future 0))"), 7);
+  // Calling a future of a procedure touches the callee.
+  EXPECT_EQ(evalFixnum(E, "((future car) '(3))"), 3);
+}
+
+TEST_F(FuturesTest, ReturningAndStoringAreNonStrict) {
+  EXPECT_EQ(evalFixnum(E, R"lisp(
+    (define (pass-through x) x)          ; parameter passing: non-strict
+    (let ((v (make-vector 1 0)))
+      (vector-set! v 0 (future 9))       ; storing: non-strict
+      (+ 0 (vector-ref v 0)))            ; arithmetic touches
+  )lisp"),
+            9);
+}
+
+TEST_F(FuturesTest, NestedFutureChainsCollapse) {
+  EXPECT_EQ(evalFixnum(E, "(touch (future (future (future 5))))"), 5);
+}
+
+TEST_F(FuturesTest, DeterminedPredicate) {
+  evalOk(E, "(define f (future 1))");
+  evalOk(E, "(touch f)");
+  EXPECT_EQ(evalPrint(E, "(determined? f)"), "#t");
+  EXPECT_EQ(evalPrint(E, "(determined? 3)"), "#t");
+}
+
+TEST_F(FuturesTest, TouchOfNonFutureIsIdentity) {
+  EXPECT_EQ(evalFixnum(E, "(touch 17)"), 17);
+  EXPECT_EQ(evalPrint(E, "(touch '(a))"), "(a)");
+}
+
+TEST_F(FuturesTest, ManyWaitersAllWake) {
+  // w waiters blocked on one future (Table 1 step 5's `14w` term).
+  EXPECT_EQ(evalFixnum(E, R"lisp(
+    (define slow (future (let loop ((i 0)) (if (= i 2000) 'go
+                                               (loop (+ i 1))))))
+    (define (waiter k) (future (begin (touch slow) k)))
+    (let ((ws (list (waiter 1) (waiter 2) (waiter 3) (waiter 4))))
+      (+ (touch (car ws)) (touch (cadr ws))
+         (touch (caddr ws)) (touch (cadddr ws))))
+  )lisp"),
+            10);
+}
+
+TEST_F(FuturesTest, FutureValuesFlowBetweenTasks) {
+  EXPECT_EQ(evalFixnum(E, R"lisp(
+    (define (tree n)
+      (if (< n 2)
+          1
+          (+ (touch (future (tree (- n 1))))
+             (touch (future (tree (- n 2)))))))
+    (tree 12)
+  )lisp"),
+            233);
+}
+
+TEST_F(FuturesTest, SideEffectsAreVisibleAcrossTasks) {
+  // Shared heap: a child's set-car! is seen by the parent after sync.
+  EXPECT_EQ(evalFixnum(E, R"lisp(
+    (define cell (cons 0 0))
+    (touch (future (set-car! cell 99)))
+    (car cell)
+  )lisp"),
+            99);
+}
+
+TEST_F(FuturesTest, FutureStatsAndSteps) {
+  E.resetStats();
+  evalOk(E, "(touch (future 0))");
+  const EngineStats &S = E.stats();
+  EXPECT_EQ(S.FuturesCreated, 1u);
+  EXPECT_EQ(S.FuturesResolved, 1u);
+  EXPECT_GT(S.Steps.MakeThunkCycles, 0u);
+  EXPECT_GT(S.Steps.CreateEnqueueCycles, 0u);
+  EXPECT_GT(S.Steps.DispatchNewCycles, 0u);
+  EXPECT_GT(S.Steps.ResolveCycles, 0u);
+}
+
+TEST_F(FuturesTest, WorkStealingHappensAcrossProcessors) {
+  EngineConfig C = config(4);
+  Engine E4(C);
+  evalOk(E4, R"lisp(
+    (define (spawn n)
+      (if (= n 0)
+          '()
+          (cons (future (let loop ((i 0))
+                          (if (= i 400) n (loop (+ i 1)))))
+                (spawn (- n 1)))))
+    (define (drain l) (if (null? l) 0 (+ (touch (car l)) (drain (cdr l)))))
+    (drain (spawn 32))
+  )lisp");
+  EXPECT_GT(E4.stats().Steals, 0u)
+      << "4 processors should have stolen from the creator's queue";
+}
+
+TEST_F(FuturesTest, LocalityWokenTaskReturnsToItsProcessor) {
+  // A task woken by resolution goes to the suspended queue of the
+  // processor it last ran on (paper section 2.1.3). Make a *child* task
+  // block on another future so the step-6 path (dequeue a suspended
+  // future task) is exercised.
+  EngineConfig C = config(2);
+  Engine E2(C);
+  evalOk(E2, R"lisp(
+    (touch (future (+ 1 (touch (future (let loop ((i 0))
+                                          (if (< i 2000)
+                                              (loop (+ i 1))
+                                              5)))))))
+  )lisp");
+  EXPECT_GT(E2.stats().Steps.DispatchSuspCycles, 0u);
+}
+
+TEST_F(FuturesTest, ChildInheritsDynamicEnvironment) {
+  // The future captures the parent's process-specific variables
+  // (paper section 2.2: a future's components include them).
+  EXPECT_EQ(evalPrint(E, R"lisp(
+    (define-fluid whoami 'global)
+    (bind ((whoami 'parent))
+      (touch (future (fluid whoami))))
+  )lisp"),
+            "parent");
+}
+
+TEST_F(FuturesTest, SequentialWithoutFutures) {
+  // "When execution of a Mul-T program is not made explicitly parallel
+  // using future, it is sequential": exactly one task per top-level form.
+  E.resetStats();
+  evalOk(E, "(+ 1 2)");
+  EXPECT_EQ(E.stats().TasksCreated, 1u); // just the root task
+}
+
+} // namespace

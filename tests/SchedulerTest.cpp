@@ -1,0 +1,188 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling policy (paper section 2.1.3) and the inlining optimization
+/// (section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mult;
+using namespace mult::testutil;
+
+namespace {
+
+/// 100 independent futures created before any touch: a queued backlog.
+const char *BacklogProgram = R"lisp(
+  (define (spawn n)
+    (if (= n 0) '() (cons (future (* n n)) (spawn (- n 1)))))
+  (define (drain l acc)
+    (if (null? l) acc (drain (cdr l) (+ acc (touch (car l))))))
+  (drain (spawn 100) 0)
+)lisp";
+
+int64_t expectedSum() {
+  int64_t S = 0;
+  for (int64_t I = 1; I <= 100; ++I)
+    S += I * I;
+  return S;
+}
+
+TEST(InliningTest, ThresholdZeroInlinesEverything) {
+  EngineConfig C = config(1);
+  C.InlineThreshold = 0;
+  Engine E(C);
+  EXPECT_EQ(evalFixnum(E, BacklogProgram), expectedSum());
+  EXPECT_EQ(E.stats().FuturesCreated, 0u);
+  EXPECT_EQ(E.stats().TasksInlined, 100u);
+}
+
+TEST(InliningTest, ThresholdOneKeepsOneBuffered) {
+  EngineConfig C = config(1);
+  C.InlineThreshold = 1;
+  Engine E(C);
+  EXPECT_EQ(evalFixnum(E, BacklogProgram), expectedSum());
+  // The first future queues; with one task buffered, the rest inline.
+  EXPECT_EQ(E.stats().FuturesCreated, 1u);
+  EXPECT_EQ(E.stats().TasksInlined, 99u);
+}
+
+TEST(InliningTest, ThresholdInfinityNeverInlines) {
+  Engine E(config(1)); // InlineThreshold unset = infinity
+  EXPECT_EQ(evalFixnum(E, BacklogProgram), expectedSum());
+  EXPECT_EQ(E.stats().FuturesCreated, 100u);
+  EXPECT_EQ(E.stats().TasksInlined, 0u);
+}
+
+TEST(InliningTest, IntermediateThresholdsBuffer) {
+  for (unsigned T : {2u, 4u, 8u}) {
+    EngineConfig C = config(1);
+    C.InlineThreshold = T;
+    Engine E(C);
+    EXPECT_EQ(evalFixnum(E, BacklogProgram), expectedSum());
+    EXPECT_EQ(E.stats().FuturesCreated, T) << "T=" << T;
+  }
+}
+
+TEST(InliningTest, InliningIsFasterOnOneProcessor) {
+  auto CyclesWith = [](std::optional<unsigned> T) {
+    EngineConfig C = config(1);
+    C.InlineThreshold = T;
+    Engine E(C);
+    evalOk(E, BacklogProgram);
+    return E.stats().ElapsedCycles;
+  };
+  uint64_t Inlined = CyclesWith(1u);
+  uint64_t Eager = CyclesWith(std::nullopt);
+  EXPECT_LT(Inlined, Eager)
+      << "avoiding task creation must save cycles (paper section 3)";
+}
+
+TEST(InliningTest, ParentChildWeldingDeadlocks) {
+  // The paper's semaphore example: under inlining the child is welded to
+  // the parent, the V never runs, and the program deadlocks...
+  EngineConfig C = config(1);
+  C.InlineThreshold = 0;
+  Engine E(C);
+  EvalResult R = E.eval(R"lisp(
+    (let ((x (make-semaphore)))
+      (let ((f (future (begin (semaphore-p x) 7))))
+        (semaphore-v x)
+        (touch f)))
+  )lisp");
+  EXPECT_EQ(static_cast<int>(R.K),
+            static_cast<int>(EvalResult::Kind::Deadlock));
+}
+
+TEST(InliningTest, SameProgramRunsWithoutInlining) {
+  // ...while with real futures it completes (paper: "the code for the
+  // future will block pending the semaphore-v operation").
+  Engine E(config(2));
+  EXPECT_EQ(evalFixnum(E, R"lisp(
+    (let ((x (make-semaphore)))
+      (let ((f (future (begin (semaphore-p x) 7))))
+        (semaphore-v x)
+        (touch f)))
+  )lisp"),
+            7);
+}
+
+TEST(SchedulerTest, DispatchPrefersOwnQueues) {
+  // On one processor nothing can be stolen.
+  EngineConfig C = config(1);
+  Engine E(C);
+  evalOk(E, BacklogProgram);
+  EXPECT_EQ(E.stats().Steals, 0u);
+  EXPECT_GT(E.stats().Dispatches, 0u);
+}
+
+TEST(SchedulerTest, IdleProcessorsStealNewTasks) {
+  EngineConfig C = config(4);
+  Engine E(C);
+  evalOk(E, BacklogProgram);
+  EXPECT_GT(E.stats().Steals, 0u);
+  // All 100 child tasks ran somewhere (plus the three top-level roots).
+  EXPECT_EQ(E.stats().TasksCompleted, 103u);
+}
+
+TEST(SchedulerTest, WorkSpreadsAcrossProcessors) {
+  EngineConfig C = config(4);
+  Engine E(C);
+  evalOk(E, R"lisp(
+    (define (spawn n)
+      (if (= n 0) '()
+          (cons (future (let loop ((i 0))
+                          (if (= i 3000) n (loop (+ i 1)))))
+                (spawn (- n 1)))))
+    (define (drain l) (if (null? l) 0 (+ (touch (car l)) (drain (cdr l)))))
+    (drain (spawn 16))
+  )lisp");
+  unsigned Working = 0;
+  for (unsigned P = 0; P < 4; ++P)
+    if (E.machine().processor(P).TasksStarted > 0)
+      ++Working;
+  EXPECT_EQ(Working, 4u) << "every processor should have found work";
+}
+
+TEST(SchedulerTest, MoreProcessorsMeanFewerVirtualCycles) {
+  auto CyclesWith = [](unsigned Procs) {
+    EngineConfig C = config(Procs);
+    Engine E(C);
+    evalOk(E, R"lisp(
+      (define (spawn n)
+        (if (= n 0) '()
+            (cons (future (let loop ((i 0))
+                            (if (= i 4000) n (loop (+ i 1)))))
+                  (spawn (- n 1)))))
+      (define (drain l) (if (null? l) 0 (+ (touch (car l)) (drain (cdr l)))))
+      (drain (spawn 16))
+    )lisp");
+    return E.stats().ElapsedCycles;
+  };
+  uint64_t C1 = CyclesWith(1);
+  uint64_t C4 = CyclesWith(4);
+  uint64_t C8 = CyclesWith(8);
+  EXPECT_LT(C4, C1 / 2) << "expect near-linear speedup on 16 even tasks";
+  EXPECT_LT(C8, C4);
+}
+
+TEST(SchedulerTest, StealOrderIsConfigurable) {
+  for (StealOrder O : {StealOrder::Lifo, StealOrder::Fifo}) {
+    EngineConfig C = config(4);
+    C.StealPolicy = O;
+    Engine E(C);
+    EXPECT_EQ(evalFixnum(E, BacklogProgram), expectedSum());
+  }
+}
+
+TEST(SchedulerTest, RunawayProgramHitsCycleLimit) {
+  EngineConfig C = config(1);
+  C.MaxRunCycles = 100000;
+  Engine E(C);
+  EvalResult R = E.eval("(let loop ((i 0)) (loop (+ i 1)))");
+  EXPECT_EQ(static_cast<int>(R.K),
+            static_cast<int>(EvalResult::Kind::CycleLimit));
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the support layer: streams, PRNG, virtual locks,
+/// string helpers, and the task queues.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/TaskQueues.h"
+#include "support/OutStream.h"
+#include "support/Prng.h"
+#include "support/StrUtil.h"
+#include "support/VirtualLock.h"
+
+#include <gtest/gtest.h>
+
+using namespace mult;
+
+TEST(OutStreamTest, FormatsScalars) {
+  std::string Buf;
+  StringOutStream OS(Buf);
+  OS << "x=" << 42 << ' ' << int64_t(-7) << ' ' << uint64_t(9) << ' '
+     << 2.5 << '\n';
+  EXPECT_EQ(Buf, "x=42 -7 9 2.5\n");
+}
+
+TEST(PrngTest, DeterministicPerSeed) {
+  Prng A(123), B(123), C(124);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t X = A.next();
+    EXPECT_EQ(X, B.next());
+    (void)C.next();
+  }
+  A.seed(123);
+  C.seed(123);
+  EXPECT_EQ(A.next(), C.next());
+}
+
+TEST(PrngTest, BoundedValuesStayInRange) {
+  Prng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(32), 32u);
+  // All residues hit over a long run (sanity, not statistics).
+  bool Seen[8] = {};
+  for (int I = 0; I < 200; ++I)
+    Seen[R.nextBelow(8)] = true;
+  for (bool S : Seen)
+    EXPECT_TRUE(S);
+}
+
+TEST(VirtualLockTest, UncontendedCostsHoldOnly) {
+  VirtualLock L;
+  EXPECT_EQ(L.acquire(100, 5), 5u);
+  // Next acquisition after the hold window: no wait.
+  EXPECT_EQ(L.acquire(200, 5), 5u);
+  EXPECT_EQ(L.waitedCycles(), 0u);
+}
+
+TEST(VirtualLockTest, ContentionChargesWaiting) {
+  VirtualLock L;
+  L.acquire(100, 10); // busy until 110
+  // A second processor arrives at 103: waits 7, holds 10.
+  EXPECT_EQ(L.acquire(103, 10), 17u);
+  EXPECT_EQ(L.waitedCycles(), 7u);
+  // Third arrives at 104: busy until 120 now -> waits 16.
+  EXPECT_EQ(L.acquire(104, 10), 26u);
+  EXPECT_EQ(L.acquisitions(), 3u);
+}
+
+TEST(StrUtilTest, Formatting) {
+  EXPECT_EQ(strFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatSeconds(1.234), "1.23");
+  EXPECT_EQ(formatSeconds(45.67), "45.7");
+  EXPECT_EQ(formatSeconds(456.7), "457");
+  EXPECT_TRUE(isAllWhitespace(" \t\n"));
+  EXPECT_FALSE(isAllWhitespace(" x "));
+}
+
+TEST(TaskQueuesTest, OwnerPopsAreLifo) {
+  TaskQueues Q;
+  Q.pushNew(1, 0);
+  Q.pushNew(2, 0);
+  Q.pushNew(3, 0);
+  uint64_t Cycles = 0;
+  EXPECT_EQ(Q.popNew(0, Cycles), 3u);
+  EXPECT_EQ(Q.popNew(0, Cycles), 2u);
+  EXPECT_EQ(Q.popNew(0, Cycles), 1u);
+  EXPECT_EQ(Q.popNew(0, Cycles), InvalidTask);
+}
+
+TEST(TaskQueuesTest, StealOrderIsConfigurable) {
+  TaskQueues Q;
+  Q.pushNew(1, 0);
+  Q.pushNew(2, 0);
+  uint64_t Cycles = 0;
+  EXPECT_EQ(Q.stealNew(0, Cycles, StealOrder::Fifo), 1u); // oldest
+  EXPECT_EQ(Q.stealNew(0, Cycles, StealOrder::Lifo), 2u); // newest
+}
+
+TEST(TaskQueuesTest, QueuesAreIndependent) {
+  TaskQueues Q;
+  Q.pushNew(1, 0);
+  Q.pushSuspended(2, 0);
+  EXPECT_EQ(Q.newCount(), 1u);
+  EXPECT_EQ(Q.suspendedCount(), 1u);
+  EXPECT_EQ(Q.depth(), 2u);
+  uint64_t Cycles = 0;
+  EXPECT_EQ(Q.popSuspended(0, Cycles), 2u);
+  EXPECT_EQ(Q.popSuspended(0, Cycles), InvalidTask);
+  EXPECT_EQ(Q.popNew(0, Cycles), 1u);
+}
+
+TEST(TaskQueuesTest, OperationsChargeCycles) {
+  TaskQueues Q;
+  uint64_t PushCost = Q.pushNew(7, 0);
+  EXPECT_GT(PushCost, 0u);
+  uint64_t Cycles = 0;
+  Q.popNew(0, Cycles);
+  EXPECT_GT(Cycles, 0u);
+  // Empty-check cost is cheaper than a real dequeue.
+  uint64_t EmptyCycles = 0;
+  Q.popNew(0, EmptyCycles);
+  EXPECT_LT(EmptyCycles, Cycles);
+}

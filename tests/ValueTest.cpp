@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the tagged value representation — in particular the
+/// paper's crucial property that the future check is a single low-bit
+/// test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Value.h"
+
+#include "runtime/Heap.h"
+#include "runtime/Object.h"
+
+#include <gtest/gtest.h>
+
+using namespace mult;
+
+TEST(ValueTest, FixnumRoundTrip) {
+  for (int64_t N : {int64_t(0), int64_t(1), int64_t(-1), int64_t(123456789),
+                    int64_t(-987654321), (INT64_MAX >> 3), (INT64_MIN >> 3)}) {
+    Value V = Value::fixnum(N);
+    EXPECT_TRUE(V.isFixnum());
+    EXPECT_FALSE(V.isFuture());
+    EXPECT_FALSE(V.isObject());
+    EXPECT_FALSE(V.isImmediate());
+    EXPECT_EQ(V.asFixnum(), N);
+  }
+}
+
+TEST(ValueTest, FixnumRange) {
+  EXPECT_TRUE(Value::fitsFixnum(0));
+  EXPECT_TRUE(Value::fitsFixnum(INT64_MAX >> 3));
+  EXPECT_TRUE(Value::fitsFixnum(INT64_MIN >> 3));
+  EXPECT_FALSE(Value::fitsFixnum((INT64_MAX >> 3) + 1));
+  EXPECT_FALSE(Value::fitsFixnum((INT64_MIN >> 3) - 1));
+}
+
+TEST(ValueTest, Immediates) {
+  EXPECT_TRUE(Value::nil().isNil());
+  EXPECT_TRUE(Value::trueV().isTrue());
+  EXPECT_TRUE(Value::falseV().isFalse());
+  EXPECT_TRUE(Value::unspecified().isUnspecified());
+  EXPECT_TRUE(Value::unbound().isUnbound());
+  EXPECT_TRUE(Value::character('a').isChar());
+  EXPECT_EQ(Value::character('a').asChar(), uint32_t('a'));
+
+  // Scheme truth: only #f is false; '() is true in T.
+  EXPECT_TRUE(Value::nil().isTruthy());
+  EXPECT_TRUE(Value::fixnum(0).isTruthy());
+  EXPECT_FALSE(Value::falseV().isTruthy());
+  EXPECT_TRUE(Value::trueV().isTruthy());
+}
+
+TEST(ValueTest, FutureBitIsBitZero) {
+  Heap H(Heap::Config{});
+  Object *O = H.allocatePermanent(TypeTag::Future, Object::FutureSizeWords);
+
+  Value AsObject = Value::object(O);
+  Value AsFuture = Value::future(O);
+
+  // The paper's single-instruction touch test: bit 0.
+  EXPECT_EQ(AsFuture.bits() & 1, 1u);
+  EXPECT_EQ(AsObject.bits() & 1, 0u);
+  EXPECT_TRUE(AsFuture.isFuture());
+  EXPECT_FALSE(AsObject.isFuture());
+  // Both are pointers to the same object.
+  EXPECT_TRUE(AsFuture.isPointer());
+  EXPECT_TRUE(AsObject.isPointer());
+  EXPECT_EQ(AsFuture.pointee(), O);
+  EXPECT_EQ(AsObject.pointee(), O);
+}
+
+TEST(ValueTest, IdentityIsBitwise) {
+  EXPECT_TRUE(Value::fixnum(7).identical(Value::fixnum(7)));
+  EXPECT_FALSE(Value::fixnum(7).identical(Value::fixnum(8)));
+  EXPECT_FALSE(Value::fixnum(0).identical(Value::nil()));
+  EXPECT_FALSE(Value::falseV().identical(Value::nil()));
+}
+
+TEST(ObjectTest, HeaderLayout) {
+  Heap H(Heap::Config{});
+  Object *P = H.allocatePermanent(TypeTag::Pair, 2);
+  EXPECT_EQ(P->tag(), TypeTag::Pair);
+  EXPECT_EQ(P->sizeWords(), 2u);
+  EXPECT_EQ(P->totalWords(), 3u);
+  EXPECT_TRUE(P->isPermanent());
+  EXPECT_FALSE(P->isForwarded());
+
+  P->setCar(Value::fixnum(1));
+  P->setCdr(Value::nil());
+  EXPECT_EQ(P->car().asFixnum(), 1);
+  EXPECT_TRUE(P->cdr().isNil());
+}
+
+TEST(ObjectTest, TypeNames) {
+  EXPECT_STREQ(typeTagName(TypeTag::Pair), "pair");
+  EXPECT_STREQ(typeTagName(TypeTag::Future), "future");
+  EXPECT_STREQ(typeTagName(TypeTag::Closure), "procedure");
+}
+
+TEST(ObjectTest, FutureSlots) {
+  Heap H(Heap::Config{});
+  Object *F = H.allocatePermanent(TypeTag::Future, Object::FutureSizeWords);
+  F->setSlot(Object::FutState, Value::fixnum(0));
+  F->setSlot(Object::FutValue, Value::unspecified());
+  F->setSlot(Object::FutWaiters, Value::nil());
+  EXPECT_FALSE(F->futureResolved());
+  F->resolveFutureSlots(Value::fixnum(42));
+  EXPECT_TRUE(F->futureResolved());
+  EXPECT_EQ(F->futureValue().asFixnum(), 42);
+  EXPECT_TRUE(F->futureWaiters().isNil());
+}
+
+TEST(ObjectTest, StringPayload) {
+  Heap H(Heap::Config{});
+  const char *Text = "hello, mul-t";
+  size_t Len = strlen(Text);
+  Object *S = H.allocatePermanent(TypeTag::String, stringPayloadWords(Len),
+                                  Object::FlagRaw);
+  S->payload()[0] = Len;
+  memcpy(S->stringData(), Text, Len);
+  EXPECT_EQ(S->stringView(), Text);
+  EXPECT_EQ(S->stringLength(), Len);
+}
