@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gc_parallel"
+  "../bench/bench_gc_parallel.pdb"
+  "CMakeFiles/bench_gc_parallel.dir/bench_gc_parallel.cpp.o"
+  "CMakeFiles/bench_gc_parallel.dir/bench_gc_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lazy_futures"
+  "../bench/bench_lazy_futures.pdb"
+  "CMakeFiles/bench_lazy_futures.dir/bench_lazy_futures.cpp.o"
+  "CMakeFiles/bench_lazy_futures.dir/bench_lazy_futures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_future_ops"
+  "../bench/bench_table1_future_ops.pdb"
+  "CMakeFiles/bench_table1_future_ops.dir/bench_table1_future_ops.cpp.o"
+  "CMakeFiles/bench_table1_future_ops.dir/bench_table1_future_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_future_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_boyer_seq.cpp" "bench_build/CMakeFiles/bench_table2_boyer_seq.dir/bench_table2_boyer_seq.cpp.o" "gcc" "bench_build/CMakeFiles/bench_table2_boyer_seq.dir/bench_table2_boyer_seq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mult_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

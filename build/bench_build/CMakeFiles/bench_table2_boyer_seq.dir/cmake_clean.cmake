@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_boyer_seq"
+  "../bench/bench_table2_boyer_seq.pdb"
+  "CMakeFiles/bench_table2_boyer_seq.dir/bench_table2_boyer_seq.cpp.o"
+  "CMakeFiles/bench_table2_boyer_seq.dir/bench_table2_boyer_seq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_boyer_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

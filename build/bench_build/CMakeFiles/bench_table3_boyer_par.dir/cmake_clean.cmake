@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_boyer_par"
+  "../bench/bench_table3_boyer_par.pdb"
+  "CMakeFiles/bench_table3_boyer_par.dir/bench_table3_boyer_par.cpp.o"
+  "CMakeFiles/bench_table3_boyer_par.dir/bench_table3_boyer_par.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_boyer_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

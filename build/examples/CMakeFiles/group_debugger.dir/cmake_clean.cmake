@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_debugger.dir/group_debugger.cpp.o"
+  "CMakeFiles/group_debugger.dir/group_debugger.cpp.o.d"
+  "group_debugger"
+  "group_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nqueens.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_mergesort.dir/parallel_mergesort.cpp.o"
+  "CMakeFiles/parallel_mergesort.dir/parallel_mergesort.cpp.o.d"
+  "parallel_mergesort"
+  "parallel_mergesort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_mergesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/Analyzer.cpp" "src/CMakeFiles/mult_compiler.dir/compiler/Analyzer.cpp.o" "gcc" "src/CMakeFiles/mult_compiler.dir/compiler/Analyzer.cpp.o.d"
+  "/root/repo/src/compiler/Ast.cpp" "src/CMakeFiles/mult_compiler.dir/compiler/Ast.cpp.o" "gcc" "src/CMakeFiles/mult_compiler.dir/compiler/Ast.cpp.o.d"
+  "/root/repo/src/compiler/Bytecode.cpp" "src/CMakeFiles/mult_compiler.dir/compiler/Bytecode.cpp.o" "gcc" "src/CMakeFiles/mult_compiler.dir/compiler/Bytecode.cpp.o.d"
+  "/root/repo/src/compiler/CodeGen.cpp" "src/CMakeFiles/mult_compiler.dir/compiler/CodeGen.cpp.o" "gcc" "src/CMakeFiles/mult_compiler.dir/compiler/CodeGen.cpp.o.d"
+  "/root/repo/src/compiler/Expander.cpp" "src/CMakeFiles/mult_compiler.dir/compiler/Expander.cpp.o" "gcc" "src/CMakeFiles/mult_compiler.dir/compiler/Expander.cpp.o.d"
+  "/root/repo/src/compiler/PrimTable.cpp" "src/CMakeFiles/mult_compiler.dir/compiler/PrimTable.cpp.o" "gcc" "src/CMakeFiles/mult_compiler.dir/compiler/PrimTable.cpp.o.d"
+  "/root/repo/src/compiler/TouchOpt.cpp" "src/CMakeFiles/mult_compiler.dir/compiler/TouchOpt.cpp.o" "gcc" "src/CMakeFiles/mult_compiler.dir/compiler/TouchOpt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mult_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

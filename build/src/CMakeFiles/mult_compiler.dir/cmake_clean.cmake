@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_compiler.dir/compiler/Analyzer.cpp.o"
+  "CMakeFiles/mult_compiler.dir/compiler/Analyzer.cpp.o.d"
+  "CMakeFiles/mult_compiler.dir/compiler/Ast.cpp.o"
+  "CMakeFiles/mult_compiler.dir/compiler/Ast.cpp.o.d"
+  "CMakeFiles/mult_compiler.dir/compiler/Bytecode.cpp.o"
+  "CMakeFiles/mult_compiler.dir/compiler/Bytecode.cpp.o.d"
+  "CMakeFiles/mult_compiler.dir/compiler/CodeGen.cpp.o"
+  "CMakeFiles/mult_compiler.dir/compiler/CodeGen.cpp.o.d"
+  "CMakeFiles/mult_compiler.dir/compiler/Expander.cpp.o"
+  "CMakeFiles/mult_compiler.dir/compiler/Expander.cpp.o.d"
+  "CMakeFiles/mult_compiler.dir/compiler/PrimTable.cpp.o"
+  "CMakeFiles/mult_compiler.dir/compiler/PrimTable.cpp.o.d"
+  "CMakeFiles/mult_compiler.dir/compiler/TouchOpt.cpp.o"
+  "CMakeFiles/mult_compiler.dir/compiler/TouchOpt.cpp.o.d"
+  "libmult_compiler.a"
+  "libmult_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/DynamicEnv.cpp" "src/CMakeFiles/mult_core.dir/core/DynamicEnv.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/core/DynamicEnv.cpp.o.d"
+  "/root/repo/src/core/Engine.cpp" "src/CMakeFiles/mult_core.dir/core/Engine.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/core/Engine.cpp.o.d"
+  "/root/repo/src/core/FutureOps.cpp" "src/CMakeFiles/mult_core.dir/core/FutureOps.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/core/FutureOps.cpp.o.d"
+  "/root/repo/src/core/Group.cpp" "src/CMakeFiles/mult_core.dir/core/Group.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/core/Group.cpp.o.d"
+  "/root/repo/src/core/LazyFutures.cpp" "src/CMakeFiles/mult_core.dir/core/LazyFutures.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/core/LazyFutures.cpp.o.d"
+  "/root/repo/src/core/Semaphore.cpp" "src/CMakeFiles/mult_core.dir/core/Semaphore.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/core/Semaphore.cpp.o.d"
+  "/root/repo/src/core/Stats.cpp" "src/CMakeFiles/mult_core.dir/core/Stats.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/core/Stats.cpp.o.d"
+  "/root/repo/src/core/Task.cpp" "src/CMakeFiles/mult_core.dir/core/Task.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/core/Task.cpp.o.d"
+  "/root/repo/src/sched/Machine.cpp" "src/CMakeFiles/mult_core.dir/sched/Machine.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/sched/Machine.cpp.o.d"
+  "/root/repo/src/sched/Scheduler.cpp" "src/CMakeFiles/mult_core.dir/sched/Scheduler.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/sched/Scheduler.cpp.o.d"
+  "/root/repo/src/sched/TaskQueues.cpp" "src/CMakeFiles/mult_core.dir/sched/TaskQueues.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/sched/TaskQueues.cpp.o.d"
+  "/root/repo/src/vm/CostModel.cpp" "src/CMakeFiles/mult_core.dir/vm/CostModel.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/vm/CostModel.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/CMakeFiles/mult_core.dir/vm/Interpreter.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/vm/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/Primitives.cpp" "src/CMakeFiles/mult_core.dir/vm/Primitives.cpp.o" "gcc" "src/CMakeFiles/mult_core.dir/vm/Primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mult_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_core.dir/core/DynamicEnv.cpp.o"
+  "CMakeFiles/mult_core.dir/core/DynamicEnv.cpp.o.d"
+  "CMakeFiles/mult_core.dir/core/Engine.cpp.o"
+  "CMakeFiles/mult_core.dir/core/Engine.cpp.o.d"
+  "CMakeFiles/mult_core.dir/core/FutureOps.cpp.o"
+  "CMakeFiles/mult_core.dir/core/FutureOps.cpp.o.d"
+  "CMakeFiles/mult_core.dir/core/Group.cpp.o"
+  "CMakeFiles/mult_core.dir/core/Group.cpp.o.d"
+  "CMakeFiles/mult_core.dir/core/LazyFutures.cpp.o"
+  "CMakeFiles/mult_core.dir/core/LazyFutures.cpp.o.d"
+  "CMakeFiles/mult_core.dir/core/Semaphore.cpp.o"
+  "CMakeFiles/mult_core.dir/core/Semaphore.cpp.o.d"
+  "CMakeFiles/mult_core.dir/core/Stats.cpp.o"
+  "CMakeFiles/mult_core.dir/core/Stats.cpp.o.d"
+  "CMakeFiles/mult_core.dir/core/Task.cpp.o"
+  "CMakeFiles/mult_core.dir/core/Task.cpp.o.d"
+  "CMakeFiles/mult_core.dir/sched/Machine.cpp.o"
+  "CMakeFiles/mult_core.dir/sched/Machine.cpp.o.d"
+  "CMakeFiles/mult_core.dir/sched/Scheduler.cpp.o"
+  "CMakeFiles/mult_core.dir/sched/Scheduler.cpp.o.d"
+  "CMakeFiles/mult_core.dir/sched/TaskQueues.cpp.o"
+  "CMakeFiles/mult_core.dir/sched/TaskQueues.cpp.o.d"
+  "CMakeFiles/mult_core.dir/vm/CostModel.cpp.o"
+  "CMakeFiles/mult_core.dir/vm/CostModel.cpp.o.d"
+  "CMakeFiles/mult_core.dir/vm/Interpreter.cpp.o"
+  "CMakeFiles/mult_core.dir/vm/Interpreter.cpp.o.d"
+  "CMakeFiles/mult_core.dir/vm/Primitives.cpp.o"
+  "CMakeFiles/mult_core.dir/vm/Primitives.cpp.o.d"
+  "libmult_core.a"
+  "libmult_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_reader.dir/reader/Lexer.cpp.o"
+  "CMakeFiles/mult_reader.dir/reader/Lexer.cpp.o.d"
+  "CMakeFiles/mult_reader.dir/reader/Reader.cpp.o"
+  "CMakeFiles/mult_reader.dir/reader/Reader.cpp.o.d"
+  "libmult_reader.a"
+  "libmult_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

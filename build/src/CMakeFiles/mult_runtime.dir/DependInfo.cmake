@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Gc.cpp" "src/CMakeFiles/mult_runtime.dir/runtime/Gc.cpp.o" "gcc" "src/CMakeFiles/mult_runtime.dir/runtime/Gc.cpp.o.d"
+  "/root/repo/src/runtime/Heap.cpp" "src/CMakeFiles/mult_runtime.dir/runtime/Heap.cpp.o" "gcc" "src/CMakeFiles/mult_runtime.dir/runtime/Heap.cpp.o.d"
+  "/root/repo/src/runtime/Object.cpp" "src/CMakeFiles/mult_runtime.dir/runtime/Object.cpp.o" "gcc" "src/CMakeFiles/mult_runtime.dir/runtime/Object.cpp.o.d"
+  "/root/repo/src/runtime/Printer.cpp" "src/CMakeFiles/mult_runtime.dir/runtime/Printer.cpp.o" "gcc" "src/CMakeFiles/mult_runtime.dir/runtime/Printer.cpp.o.d"
+  "/root/repo/src/runtime/SymbolTable.cpp" "src/CMakeFiles/mult_runtime.dir/runtime/SymbolTable.cpp.o" "gcc" "src/CMakeFiles/mult_runtime.dir/runtime/SymbolTable.cpp.o.d"
+  "/root/repo/src/runtime/Value.cpp" "src/CMakeFiles/mult_runtime.dir/runtime/Value.cpp.o" "gcc" "src/CMakeFiles/mult_runtime.dir/runtime/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mult_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

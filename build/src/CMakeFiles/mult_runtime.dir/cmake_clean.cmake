@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_runtime.dir/runtime/Gc.cpp.o"
+  "CMakeFiles/mult_runtime.dir/runtime/Gc.cpp.o.d"
+  "CMakeFiles/mult_runtime.dir/runtime/Heap.cpp.o"
+  "CMakeFiles/mult_runtime.dir/runtime/Heap.cpp.o.d"
+  "CMakeFiles/mult_runtime.dir/runtime/Object.cpp.o"
+  "CMakeFiles/mult_runtime.dir/runtime/Object.cpp.o.d"
+  "CMakeFiles/mult_runtime.dir/runtime/Printer.cpp.o"
+  "CMakeFiles/mult_runtime.dir/runtime/Printer.cpp.o.d"
+  "CMakeFiles/mult_runtime.dir/runtime/SymbolTable.cpp.o"
+  "CMakeFiles/mult_runtime.dir/runtime/SymbolTable.cpp.o.d"
+  "CMakeFiles/mult_runtime.dir/runtime/Value.cpp.o"
+  "CMakeFiles/mult_runtime.dir/runtime/Value.cpp.o.d"
+  "libmult_runtime.a"
+  "libmult_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_support.dir/support/OutStream.cpp.o"
+  "CMakeFiles/mult_support.dir/support/OutStream.cpp.o.d"
+  "CMakeFiles/mult_support.dir/support/Prng.cpp.o"
+  "CMakeFiles/mult_support.dir/support/Prng.cpp.o.d"
+  "CMakeFiles/mult_support.dir/support/StrUtil.cpp.o"
+  "CMakeFiles/mult_support.dir/support/StrUtil.cpp.o.d"
+  "libmult_support.a"
+  "libmult_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_ui.dir/ui/Repl.cpp.o"
+  "CMakeFiles/mult_ui.dir/ui/Repl.cpp.o.d"
+  "libmult_ui.a"
+  "libmult_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BenchProgramsTest.cpp" "tests/CMakeFiles/mult_tests.dir/BenchProgramsTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/BenchProgramsTest.cpp.o.d"
+  "/root/repo/tests/BytecodeTest.cpp" "tests/CMakeFiles/mult_tests.dir/BytecodeTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/BytecodeTest.cpp.o.d"
+  "/root/repo/tests/CompilerTest.cpp" "tests/CMakeFiles/mult_tests.dir/CompilerTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/CompilerTest.cpp.o.d"
+  "/root/repo/tests/CostModelTest.cpp" "tests/CMakeFiles/mult_tests.dir/CostModelTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/CostModelTest.cpp.o.d"
+  "/root/repo/tests/DynSemTest.cpp" "tests/CMakeFiles/mult_tests.dir/DynSemTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/DynSemTest.cpp.o.d"
+  "/root/repo/tests/EdgeCaseTest.cpp" "tests/CMakeFiles/mult_tests.dir/EdgeCaseTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/EdgeCaseTest.cpp.o.d"
+  "/root/repo/tests/EvalCoreTest.cpp" "tests/CMakeFiles/mult_tests.dir/EvalCoreTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/EvalCoreTest.cpp.o.d"
+  "/root/repo/tests/FuturesTest.cpp" "tests/CMakeFiles/mult_tests.dir/FuturesTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/FuturesTest.cpp.o.d"
+  "/root/repo/tests/GroupsTest.cpp" "tests/CMakeFiles/mult_tests.dir/GroupsTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/GroupsTest.cpp.o.d"
+  "/root/repo/tests/HeapGcTest.cpp" "tests/CMakeFiles/mult_tests.dir/HeapGcTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/HeapGcTest.cpp.o.d"
+  "/root/repo/tests/LazyFuturesTest.cpp" "tests/CMakeFiles/mult_tests.dir/LazyFuturesTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/LazyFuturesTest.cpp.o.d"
+  "/root/repo/tests/MachineTest.cpp" "tests/CMakeFiles/mult_tests.dir/MachineTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/MachineTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/mult_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/ReaderPrinterTest.cpp" "tests/CMakeFiles/mult_tests.dir/ReaderPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/ReaderPrinterTest.cpp.o.d"
+  "/root/repo/tests/SchedulerTest.cpp" "tests/CMakeFiles/mult_tests.dir/SchedulerTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/SchedulerTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/mult_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/ValueTest.cpp" "tests/CMakeFiles/mult_tests.dir/ValueTest.cpp.o" "gcc" "tests/CMakeFiles/mult_tests.dir/ValueTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mult_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mult_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
