@@ -14,6 +14,8 @@
 #define MULT_BENCH_BENCHUTIL_H
 
 #include "core/Engine.h"
+#include "obs/Metrics.h"
+#include "obs/TraceExport.h"
 #include "runtime/Printer.h"
 #include "support/StrUtil.h"
 
@@ -26,6 +28,16 @@ namespace multbench {
 
 using namespace mult;
 
+/// Observability switches, environment-driven so the benchmark binaries
+/// keep their argument-free table-regeneration interface:
+///   MULT_TRACE=1       enable the event tracer for the timed region
+///   MULT_METRICS=1     print the aggregated metrics report per run
+///   MULT_TRACE_DIR=D   write D/<tag>.trace.json per traced run
+inline bool traceRequested() { return std::getenv("MULT_TRACE") != nullptr; }
+inline bool metricsRequested() {
+  return std::getenv("MULT_METRICS") != nullptr;
+}
+
 /// Builds a machine configuration for one benchmark run.
 inline EngineConfig machine(unsigned Procs,
                             std::optional<unsigned> InlineT = std::nullopt,
@@ -35,7 +47,34 @@ inline EngineConfig machine(unsigned Procs,
   C.InlineThreshold = InlineT;
   C.LazyFutures = Lazy;
   C.HeapWords = size_t(1) << 23;
+  C.EnableTracing = traceRequested();
   return C;
+}
+
+/// Post-run observability hook: metrics to stdout and/or a Chrome-trace
+/// JSON file named after \p Tag, per the environment switches above.
+inline void reportRun(Engine &E, const std::string &Tag) {
+  if (metricsRequested()) {
+    std::printf("\n;; metrics: %s\n", Tag.c_str());
+    FileOutStream &OS = FileOutStream::stdoutStream();
+    dumpMetrics(OS, buildMetrics(E.machine(), E.stats(), E.gcStats(),
+                                 E.tracer()));
+    OS.flush();
+  }
+  if (const char *Dir = std::getenv("MULT_TRACE_DIR");
+      Dir && E.tracer().enabled()) {
+    std::string Path = std::string(Dir) + "/" + Tag + ".trace.json";
+    if (FILE *F = std::fopen(Path.c_str(), "w")) {
+      FileOutStream FS(F);
+      writeChromeTrace(FS, E.tracer(), E.machine());
+      FS.flush();
+      std::fclose(F);
+      std::fprintf(stderr, ";; trace: %s (%zu events)\n", Path.c_str(),
+                   E.tracer().size());
+    } else {
+      std::fprintf(stderr, ";; trace: cannot open %s\n", Path.c_str());
+    }
+  }
 }
 
 /// Evaluates \p Setup (library code), then times \p Expr. Exits loudly on

@@ -74,6 +74,7 @@ void sweep(const char *Name, const char *Prog) {
     double S1 = runVirtualSeconds(E1, "", Prog);
     Engine E8(machine(8, M.T, M.Lazy));
     double S8 = runVirtualSeconds(E8, "", Prog);
+    reportRun(E8, strFormat("lazy_%s_p8", M.Name));
     std::printf("    %-16s %10s %10s (%llu st) %9.2fx %8llu\n", M.Name,
                 formatSeconds(S1).c_str(), formatSeconds(S8).c_str(),
                 static_cast<unsigned long long>(E8.stats().SeamsStolen),

@@ -43,6 +43,7 @@ Engine::Engine(const EngineConfig &Config)
       TheMachine(Config.NumProcessors, Config.QuantumCycles,
                  Config.MaxRunCycles, Config.StealPolicy),
       Rng(Config.RandomSeed) {
+  TheTracer.setEnabled(Config.EnableTracing);
   bootstrap();
 }
 
@@ -201,6 +202,9 @@ TaskId Engine::newTask(GroupId G, Value Closure, Value ResultFuture,
   ++Stats.TasksCreated;
   if (G != InvalidGroup)
     ++group(G).TasksCreated;
+  if (TheTracer.enabled())
+    TheTracer.record(TraceEventKind::TaskCreate, Proc,
+                     TheMachine.processor(Proc).Clock, Id, G);
   return Id;
 }
 
@@ -236,9 +240,22 @@ Object *Engine::allocOrGc(TypeTag Tag, uint32_t SizeWords, uint8_t Flags) {
 
 bool Engine::collectGarbage() {
   std::vector<uint64_t> Clocks = TheMachine.clocks();
+  std::vector<uint64_t> Before = Clocks;
   bool Ok = TheGc.collect(*this, Clocks);
-  if (Ok)
+  if (Ok) {
     TheMachine.setClocks(Clocks);
+    // Each processor's pause (from interruption to the common resume
+    // clock) is GC time; together with busy and idle cycles this tiles
+    // the processor clock exactly.
+    for (unsigned I = 0; I < TheMachine.numProcessors(); ++I) {
+      Processor &P = TheMachine.processor(I);
+      P.GcCycles += Clocks[I] - Before[I];
+      if (TheTracer.enabled()) {
+        TheTracer.record(TraceEventKind::GcBegin, I, Before[I]);
+        TheTracer.record(TraceEventKind::GcEnd, I, Clocks[I]);
+      }
+    }
+  }
   return Ok;
 }
 
@@ -326,6 +343,8 @@ void Engine::stopGroup(Processor &P, Task &T, std::string Condition,
   T.State = TaskState::Stopped;
   T.StopCondition = Condition;
   T.StopPop = StopPop;
+  if (TheTracer.enabled())
+    TheTracer.record(TraceEventKind::TaskStopped, P.Id, P.Clock, T.Id);
   if (G.State == GroupState::Running) {
     G.State = GroupState::Stopped;
     G.CurrentTask = T.Id;
@@ -349,6 +368,9 @@ void Engine::stopGroup(Processor &P, Task &T, std::string Condition,
     Sibling->State = TaskState::Stopped;
     G.Parked.push_back(Sibling->Id);
     Other.Current = InvalidTask;
+    if (TheTracer.enabled())
+      TheTracer.record(TraceEventKind::TaskStopped, Other.Id, Other.Clock,
+                       Sibling->Id);
   }
   ++P.HandlerActivations;
   P.charge(cost::GroupStop);
@@ -592,14 +614,19 @@ void Engine::resetStats() {
   // they survive resets (benchmarks reset between timed runs).
   Stats = EngineStats();
   TheGc.resetStats();
+  TheTracer.clear();
   for (unsigned I = 0; I < TheMachine.numProcessors(); ++I) {
     Processor &P = TheMachine.processor(I);
     P.BusyCycles = 0;
     P.IdleCycles = 0;
+    P.GcCycles = 0;
+    P.ClockAtReset = P.Clock;
     P.Instructions = 0;
     P.Dispatches = 0;
     P.Steals = 0;
     P.TasksStarted = 0;
     P.HandlerActivations = 0;
+    P.TraceIdling = false;
+    P.Queues.resetHighWater();
   }
 }

@@ -28,6 +28,7 @@
 #include "core/Group.h"
 #include "core/Stats.h"
 #include "core/Task.h"
+#include "obs/Trace.h"
 #include "runtime/Gc.h"
 #include "runtime/Heap.h"
 #include "runtime/SymbolTable.h"
@@ -77,6 +78,10 @@ struct EngineConfig {
   StealOrder StealPolicy = StealOrder::Lifo;
   /// Load the Lisp prelude at construction (tests may disable).
   bool LoadPrelude = true;
+  /// Record the virtual-time event trace (src/obs). Costs no virtual time
+  /// either way; off by default so benches pay nothing. Can also be
+  /// toggled at run time via Engine::tracer().setEnabled.
+  bool EnableTracing = false;
 };
 
 /// Result of Engine::eval and friends.
@@ -139,11 +144,14 @@ public:
   std::string takeOutput();
   /// @}
 
-  /// \name Statistics
+  /// \name Statistics and observability
   /// @{
   EngineStats &stats() { return Stats; }
   const Gc::Stats &gcStats() const { return TheGc.stats(); }
   const CompileStats &compileStats() const { return TheCompiler.stats(); }
+  /// The virtual-time event recorder (cleared by resetStats).
+  Tracer &tracer() { return TheTracer; }
+  const Tracer &tracer() const { return TheTracer; }
   void resetStats();
   /// @}
 
@@ -244,6 +252,7 @@ private:
   uint64_t SeamSerialCounter = 0;
 
   EngineStats Stats;
+  Tracer TheTracer;
 
   std::string ConsoleBuf;
   StringOutStream ConsoleStream{ConsoleBuf};

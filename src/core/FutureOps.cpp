@@ -49,6 +49,7 @@ static uint32_t enterThunk(Task &T) {
 
 bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
   const EngineConfig &Cfg = E.config();
+  Tracer &Tr = E.tracer();
 
   // Lazy futures: provisionally inline everything, leave a seam.
   if (Cfg.LazyFutures) {
@@ -56,6 +57,8 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
     lazyfutures::noteSeam(E, T, FrameIdx);
     P.charge(cost::LazySeamPush);
     E.stats().Steps.MakeThunkCycles += cost::LazySeamPush;
+    if (Tr.enabled())
+      Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 2);
     return true;
   }
 
@@ -66,6 +69,8 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
     enterThunk(T);
     P.charge(cost::FutureInline);
     ++E.stats().TasksInlined;
+    if (Tr.enabled())
+      Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 0);
     return true;
   }
 
@@ -93,6 +98,10 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
   P.charge(Cycles);
   E.stats().Steps.CreateEnqueueCycles += Cycles;
   ++E.stats().FuturesCreated;
+  if (Tr.enabled()) {
+    Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 1);
+    Tr.record(TraceEventKind::FutureCreate, P.Id, P.Clock, Child);
+  }
 
   T.Stack.push_back(Value::future(Fut));
   ++T.Pc;
@@ -118,6 +127,8 @@ bool futureops::blockOnFuture(Engine &E, Processor &P, Task &T, Object *Fut) {
   P.charge(Cycles);
   E.stats().Steps.BlockCycles += Cycles + cost::Touch;
   ++E.stats().TouchesBlocked;
+  if (E.tracer().enabled())
+    E.tracer().record(TraceEventKind::TaskBlock, P.Id, P.Clock, T.Id, 0);
   return true;
 }
 
@@ -144,9 +155,13 @@ void futureops::resolveFuture(Engine &E, Processor &P, Object *Fut,
     Cycles += Home.Queues.pushSuspended(Id, P.Clock + Cycles);
     Cycles += cost::ResolveWaiter;
     ++Woken;
+    if (E.tracer().enabled())
+      E.tracer().record(TraceEventKind::TaskResume, P.Id, P.Clock + Cycles,
+                        Waiter->Id, Waiter->LastProc);
   }
-  (void)Woken;
   P.charge(Cycles);
+  if (E.tracer().enabled())
+    E.tracer().record(TraceEventKind::FutureResolve, P.Id, P.Clock, Woken);
 
   if (E.rootFutureObject() == Fut) {
     E.noteRootResolved(P.Clock);
@@ -162,5 +177,7 @@ void futureops::taskFinished(Engine &E, Processor &P, Task &T, Value Result) {
       !T.ResultFuture.pointee()->futureResolved())
     resolveFuture(E, P, T.ResultFuture.pointee(), Result);
   ++E.stats().TasksCompleted;
+  if (E.tracer().enabled())
+    E.tracer().record(TraceEventKind::TaskFinish, P.Id, P.Clock, T.Id);
   E.finishTask(T);
 }

@@ -110,6 +110,9 @@ lazyfutures::StealResult lazyfutures::trySteal(Engine &E, Processor &P) {
     ++E.stats().FuturesCreated;
     ++E.stats().TasksCreated;
     E.group(Victim->Group).TasksCreated++;
+    if (E.tracer().enabled())
+      E.tracer().record(TraceEventKind::SeamSteal, P.Id, P.Clock, ParentId,
+                        static_cast<uint32_t>(taskIndex(Victim->Id)));
     return StealResult{StealResult::Kind::Stolen, ParentId};
   }
   return StealResult{StealResult::Kind::Nothing, InvalidTask};

@@ -41,6 +41,8 @@ sem::POutcome sem::p(Engine &E, Processor &P, Task &T, Object *Sem) {
   T.State = TaskState::BlockedSemaphore;
   T.BlockedOn = Value::object(Sem);
   P.charge(Cycles + cost::BlockBase);
+  if (E.tracer().enabled())
+    E.tracer().record(TraceEventKind::TaskBlock, P.Id, P.Clock, T.Id, 1);
   return POutcome::Blocked;
 }
 
@@ -65,6 +67,9 @@ void sem::v(Engine &E, Processor &P, Object *Sem) {
     Waiter->WakeValue = Value::trueV();
     Processor &Home = E.machine().processor(Waiter->LastProc);
     P.charge(Home.Queues.pushSuspended(Id, P.Clock) + 4);
+    if (E.tracer().enabled())
+      E.tracer().record(TraceEventKind::TaskResume, P.Id, P.Clock, Waiter->Id,
+                        Waiter->LastProc);
     return;
   }
   Sem->setSemaphoreCount(Sem->semaphoreCount() + 1);

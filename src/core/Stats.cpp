@@ -23,7 +23,8 @@ void dumpStats(OutStream &OS, const EngineStats &S) {
   OS << "touches: executed " << S.TouchesExecuted << ", blocked "
      << S.TouchesBlocked << '\n';
   OS << "scheduling: dispatches " << S.Dispatches << ", steals " << S.Steals
-     << " (of " << S.StealAttempts << " attempts)\n";
+     << " (of " << S.StealAttempts << " attempts, " << S.StealsFailed
+     << " failed)\n";
   OS << "execution: " << S.Instructions << " insns, " << S.CyclesExecuted
      << " cycles busy, " << S.IdleCycles << " idle\n";
   OS << strFormat("last run: %llu cycles = %.4f virtual seconds\n",

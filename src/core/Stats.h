@@ -45,10 +45,14 @@ struct EngineStats {
   uint64_t TouchesExecuted = 0; ///< dynamic count of touch instructions
   uint64_t TouchesBlocked = 0;  ///< touches that found an unresolved future
 
-  // Scheduling.
+  // Scheduling. One StealAttempt is one stealNew/stealSuspended probe of a
+  // victim queue; it either yields a dispatched task (Steals) or not
+  // (StealsFailed: queue empty, or the popped task was vetoed), so
+  // Steals + StealsFailed == StealAttempts always.
   uint64_t Dispatches = 0;
   uint64_t Steals = 0;
   uint64_t StealAttempts = 0;
+  uint64_t StealsFailed = 0;
 
   // Execution.
   uint64_t Instructions = 0;   ///< bytecode instructions executed

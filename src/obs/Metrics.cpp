@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metrics aggregation and rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "core/Task.h"
+#include "support/StrUtil.h"
+
+#include <unordered_map>
+
+using namespace mult;
+
+MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
+                                 const Gc::Stats &G, const Tracer &Tr) {
+  MetricsReport R;
+  for (unsigned I = 0; I < M.numProcessors(); ++I) {
+    const Processor &P = M.processor(I);
+    ProcMetrics PM;
+    PM.Id = I;
+    PM.BusyCycles = P.BusyCycles;
+    PM.IdleCycles = P.IdleCycles;
+    PM.GcCycles = P.GcCycles;
+    PM.Instructions = P.Instructions;
+    PM.Dispatches = P.Dispatches;
+    PM.Steals = P.Steals;
+    PM.TasksStarted = P.TasksStarted;
+    PM.NewQueueHighWater = P.Queues.newHighWater();
+    PM.SuspQueueHighWater = P.Queues.suspendedHighWater();
+    R.Procs.push_back(PM);
+  }
+
+  R.StealAttempts = S.StealAttempts;
+  R.Steals = S.Steals;
+  R.StealsFailed = S.StealsFailed;
+  R.Collections = G.Collections;
+  R.GcPauseCycles = G.TotalPauseCycles;
+
+  // Task lifetimes from the trace: pair each finish with its creation.
+  std::unordered_map<uint64_t, uint64_t> Born;
+  for (const TraceEvent &E : Tr.events()) {
+    if (E.Kind == TraceEventKind::TaskCreate) {
+      Born[E.A] = E.Clock;
+    } else if (E.Kind == TraceEventKind::TaskFinish) {
+      auto It = Born.find(E.A);
+      if (It == Born.end() || E.Clock < It->second)
+        continue;
+      uint64_t Life = E.Clock - It->second;
+      unsigned Bucket = 0;
+      while (Bucket + 1 < R.TaskLifetimeLog2.size() && (Life >> (Bucket + 1)))
+        ++Bucket;
+      ++R.TaskLifetimeLog2[Bucket];
+      ++R.TasksMeasured;
+      Born.erase(It);
+    }
+  }
+  return R;
+}
+
+void mult::dumpMetrics(OutStream &OS, const MetricsReport &R) {
+  OS << "per-processor virtual time (cycles):\n";
+  OS << "  proc       busy       idle         gc      insns  disp  steal"
+        "  qhi(new/susp)\n";
+  for (const ProcMetrics &P : R.Procs) {
+    OS << strFormat("  %4u %10llu %10llu %10llu %10llu %5llu %6llu  %zu/%zu\n",
+                    P.Id, static_cast<unsigned long long>(P.BusyCycles),
+                    static_cast<unsigned long long>(P.IdleCycles),
+                    static_cast<unsigned long long>(P.GcCycles),
+                    static_cast<unsigned long long>(P.Instructions),
+                    static_cast<unsigned long long>(P.Dispatches),
+                    static_cast<unsigned long long>(P.Steals),
+                    P.NewQueueHighWater, P.SuspQueueHighWater);
+  }
+  OS << strFormat("stealing: %llu of %llu attempts succeeded (%llu failed, "
+                  "%.1f%% success)\n",
+                  static_cast<unsigned long long>(R.Steals),
+                  static_cast<unsigned long long>(R.StealAttempts),
+                  static_cast<unsigned long long>(R.StealsFailed),
+                  R.stealSuccessRate() * 100.0);
+  OS << strFormat("gc: %llu collections, %llu pause cycles\n",
+                  static_cast<unsigned long long>(R.Collections),
+                  static_cast<unsigned long long>(R.GcPauseCycles));
+  if (R.TasksMeasured == 0) {
+    OS << "task lifetimes: (enable tracing to measure)\n";
+    return;
+  }
+  OS << strFormat("task lifetimes (%llu tasks, virtual cycles, log2 "
+                  "buckets):\n",
+                  static_cast<unsigned long long>(R.TasksMeasured));
+  for (size_t I = 0; I < R.TaskLifetimeLog2.size(); ++I) {
+    if (R.TaskLifetimeLog2[I] == 0)
+      continue;
+    OS << strFormat("  [%8llu, %8llu): %llu\n",
+                    static_cast<unsigned long long>(uint64_t(1) << I),
+                    static_cast<unsigned long long>(uint64_t(1) << (I + 1)),
+                    static_cast<unsigned long long>(R.TaskLifetimeLog2[I]));
+  }
+}

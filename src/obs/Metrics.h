@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregated per-run metrics, built from the always-on counters plus
+/// (when tracing is enabled) the virtual-time event stream.
+///
+/// The report answers the paper's accounting questions directly: where did
+/// each processor's virtual time go (busy / idle / GC), how well did work
+/// stealing perform (success rate, per-processor steal counts), how deep
+/// did the task queues get (high-water marks), and how long did tasks live
+/// (a log2 histogram of create-to-finish virtual cycles, trace-derived).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_OBS_METRICS_H
+#define MULT_OBS_METRICS_H
+
+#include "core/Stats.h"
+#include "obs/Trace.h"
+#include "runtime/Gc.h"
+#include "sched/Machine.h"
+#include "support/OutStream.h"
+
+#include <array>
+#include <vector>
+
+namespace mult {
+
+/// One processor's share of the run.
+struct ProcMetrics {
+  unsigned Id = 0;
+  uint64_t BusyCycles = 0;
+  uint64_t IdleCycles = 0;
+  uint64_t GcCycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t Dispatches = 0;
+  uint64_t Steals = 0;
+  uint64_t TasksStarted = 0;
+  size_t NewQueueHighWater = 0;
+  size_t SuspQueueHighWater = 0;
+};
+
+/// The whole report.
+struct MetricsReport {
+  std::vector<ProcMetrics> Procs;
+
+  // Stealing (engine-wide; Steals + StealsFailed == StealAttempts).
+  uint64_t StealAttempts = 0;
+  uint64_t Steals = 0;
+  uint64_t StealsFailed = 0;
+  /// Steals / StealAttempts, 0 when no attempts were made.
+  double stealSuccessRate() const {
+    return StealAttempts == 0
+               ? 0.0
+               : static_cast<double>(Steals) / static_cast<double>(StealAttempts);
+  }
+
+  // GC.
+  uint64_t Collections = 0;
+  uint64_t GcPauseCycles = 0;
+
+  /// Task lifetimes (create to finish, virtual cycles) in log2 buckets:
+  /// bucket i counts lifetimes in [2^i, 2^(i+1)). Populated only when the
+  /// run was traced; empty (all zero) otherwise.
+  std::array<uint64_t, 40> TaskLifetimeLog2 = {};
+  uint64_t TasksMeasured = 0;
+};
+
+/// Builds the report for the last measured run.
+MetricsReport buildMetrics(const Machine &M, const EngineStats &S,
+                           const Gc::Stats &G, const Tracer &Tr);
+
+/// Renders \p R human-readably (benches, the REPL's :stats command).
+void dumpMetrics(OutStream &OS, const MetricsReport &R);
+
+} // namespace mult
+
+#endif // MULT_OBS_METRICS_H

@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace event kind names.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+using namespace mult;
+
+const char *mult::traceEventKindName(TraceEventKind K) {
+  switch (K) {
+  case TraceEventKind::TaskCreate: return "task-create";
+  case TraceEventKind::TaskStart: return "task-start";
+  case TraceEventKind::TaskBlock: return "task-block";
+  case TraceEventKind::TaskResume: return "task-resume";
+  case TraceEventKind::TaskFinish: return "task-finish";
+  case TraceEventKind::TaskStopped: return "task-stopped";
+  case TraceEventKind::TaskParked: return "task-parked";
+  case TraceEventKind::TaskDropped: return "task-dropped";
+  case TraceEventKind::FutureCreate: return "future-create";
+  case TraceEventKind::FutureResolve: return "future-resolve";
+  case TraceEventKind::TouchHit: return "touch-hit";
+  case TraceEventKind::TouchBlock: return "touch-block";
+  case TraceEventKind::StealAttempt: return "steal-attempt";
+  case TraceEventKind::InlineDecision: return "inline-decision";
+  case TraceEventKind::SeamSteal: return "seam-steal";
+  case TraceEventKind::GcBegin: return "gc-begin";
+  case TraceEventKind::GcEnd: return "gc-end";
+  case TraceEventKind::IdleBegin: return "idle-begin";
+  case TraceEventKind::IdleEnd: return "idle-end";
+  }
+  return "unknown";
+}

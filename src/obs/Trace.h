@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Virtual-time event tracing (the observability substrate).
+///
+/// Every interesting runtime transition — task lifecycle, future protocol
+/// steps, touches, steals, inlining decisions, GC phases, idle intervals —
+/// is recorded as a small fixed-size event stamped with the *emitting
+/// processor's virtual clock*. The stream feeds two consumers:
+///
+///   - obs/TraceExport.*: a Chrome trace-event JSON exporter (loadable in
+///     chrome://tracing and Perfetto), one row per virtual processor;
+///   - obs/Metrics.*: the aggregated per-run metrics report.
+///
+/// Recording costs no *virtual* time at all (the simulation's cycle
+/// accounting never sees it), and when disabled it costs essentially no
+/// host time either: every emit site guards on Tracer::enabled(), a single
+/// inlined bool test. This is what lets benches keep tracing compiled in
+/// while staying bit-identical to untraced runs.
+///
+/// Later subsystems (the race detector of Utterback et al., adaptive
+/// scheduling, regression dashboards) consume this same stream; keep
+/// events small and append-only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_OBS_TRACE_H
+#define MULT_OBS_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mult {
+
+/// What happened. Payload fields A/B are kind-specific; see each entry.
+enum class TraceEventKind : uint8_t {
+  TaskCreate,     ///< A = task id, B = group id.
+  TaskStart,      ///< Dispatched onto the processor. A = task id,
+                  ///< B = 0 own queue, 1 stolen, 2 lazy-seam split.
+  TaskBlock,      ///< A = task id, B = 0 future, 1 semaphore.
+  TaskResume,     ///< Woken, re-enqueued. A = task id, B = home processor.
+  TaskFinish,     ///< Completed normally. A = task id.
+  TaskStopped,    ///< Suspended by a group stop. A = task id.
+  TaskParked,     ///< Popped while its group was stopped. A = task id.
+  TaskDropped,    ///< Popped from a killed group and discarded. A = task id.
+  FutureCreate,   ///< A = child task id.
+  FutureResolve,  ///< A = number of waiters woken.
+  TouchHit,       ///< Touch found a resolved future. A = task id.
+  TouchBlock,     ///< Touch found an unresolved future. A = task id.
+  StealAttempt,   ///< One queue probe. A = victim processor,
+                  ///< B = 1 success, 0 failure (empty or vetting rejected).
+  InlineDecision, ///< `future` policy choice. A = 0 inlined, 1 real task,
+                  ///< 2 lazy seam.
+  SeamSteal,      ///< Lazy seam split. A = new parent-continuation task id.
+  GcBegin,        ///< Collection pause begins on this processor.
+  GcEnd,          ///< Collection pause ends (common resume clock).
+  IdleBegin,      ///< Processor found no work.
+  IdleEnd,        ///< Processor found work again.
+};
+
+/// Human-readable name of \p K ("task-create", "steal-attempt", ...).
+const char *traceEventKindName(TraceEventKind K);
+
+/// One recorded event. 24 bytes; the buffer is a flat vector.
+struct TraceEvent {
+  uint64_t Clock; ///< Emitting processor's virtual clock.
+  uint64_t A;     ///< Kind-specific payload.
+  uint32_t B;     ///< Kind-specific payload.
+  uint8_t Proc;   ///< Emitting processor id.
+  TraceEventKind Kind;
+};
+
+/// The recorder. Owned by the Engine; cleared by Engine::resetStats so a
+/// buffer always describes exactly one measured run.
+class Tracer {
+public:
+  bool enabled() const { return Enabled; }
+  void setEnabled(bool On) { Enabled = On; }
+
+  /// Appends one event. Callers on hot paths should guard with enabled();
+  /// record() re-checks so unguarded calls stay correct.
+  void record(TraceEventKind Kind, unsigned Proc, uint64_t Clock,
+              uint64_t A = 0, uint64_t B = 0) {
+    if (!Enabled)
+      return;
+    Events.push_back(TraceEvent{Clock, A, static_cast<uint32_t>(B),
+                                static_cast<uint8_t>(Proc), Kind});
+  }
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+  size_t size() const { return Events.size(); }
+  void clear() { Events.clear(); }
+
+private:
+  bool Enabled = false;
+  std::vector<TraceEvent> Events;
+};
+
+} // namespace mult
+
+#endif // MULT_OBS_TRACE_H

@@ -57,12 +57,17 @@ bool Machine::quiescent(const Engine &E) const {
 
 RunResult Machine::run(Engine &E, Value RootFuture) {
   // Synchronize the processors at the start of the run (they idled while
-  // the "user" typed the expression).
+  // the "user" typed the expression); the skew counts as idle time so
+  // busy + idle + GC cycles always tile the clock.
   uint64_t Start = 0;
   for (Processor &P : Procs)
     Start = std::max(Start, P.Clock);
-  for (Processor &P : Procs)
+  for (Processor &P : Procs) {
+    uint64_t Skew = Start - P.Clock;
     P.Clock = Start;
+    P.IdleCycles += Skew;
+    E.stats().IdleCycles += Skew;
+  }
 
   RunResult R;
   unsigned FruitlessGcs = 0;
@@ -103,7 +108,9 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
             T.State == TaskState::Running) {
           T.State = TaskState::Stopped;
           G.Parked.push_back(T.Id);
+          E.tracer().record(TraceEventKind::TaskStopped, P.Id, P.Clock, T.Id);
         } else if (G.State == GroupState::Killed) {
+          E.tracer().record(TraceEventKind::TaskDropped, P.Id, P.Clock, T.Id);
           E.finishTask(T);
         }
         P.charge(4);
@@ -173,8 +180,16 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
     // Idle processor: find work.
     TaskId Next = dispatchNextTask(E, *this, P);
     if (Next != InvalidTask) {
+      if (P.TraceIdling) {
+        P.TraceIdling = false;
+        E.tracer().record(TraceEventKind::IdleEnd, P.Id, P.Clock);
+      }
       P.Current = Next;
       continue;
+    }
+    if (!P.TraceIdling) {
+      P.TraceIdling = true;
+      E.tracer().record(TraceEventKind::IdleBegin, P.Id, P.Clock);
     }
     P.Clock += cost::IdleTick;
     P.IdleCycles += cost::IdleTick;

@@ -34,14 +34,25 @@ struct Processor {
   TaskId Current = InvalidTask;
   TaskQueues Queues;
 
-  // Statistics.
+  // Statistics. Every cycle the clock advances lands in exactly one of
+  // BusyCycles (charge), IdleCycles (idle ticks + waiting for a run to
+  // start) or GcCycles (collection pauses), so
+  //   Clock == ClockAtReset + BusyCycles + IdleCycles + GcCycles
+  // holds from any resetStats (TraceTest asserts it).
   uint64_t BusyCycles = 0;
   uint64_t IdleCycles = 0;
+  uint64_t GcCycles = 0;           ///< collection pauses (rendezvous to resume)
+  uint64_t ClockAtReset = 0;       ///< Clock at the last resetStats
   uint64_t Instructions = 0;
   uint64_t Dispatches = 0;
   uint64_t Steals = 0;
   uint64_t TasksStarted = 0;
   uint64_t HandlerActivations = 0; ///< exception-handler server task runs
+
+  /// True between the first fruitless dispatch and the next successful
+  /// one; lets the run loop emit one idle-begin/idle-end trace pair per
+  /// idle interval instead of one per idle tick.
+  bool TraceIdling = false;
 
   void charge(uint64_t Cycles) {
     Clock += Cycles;

@@ -18,7 +18,7 @@ namespace {
 /// Validates a popped task id: live, Ready, group running. Parks members
 /// of stopped groups so Engine::resumeGroup can re-enqueue them.
 /// Returns null when the id should be dropped.
-Task *vetTask(Engine &E, TaskId Id) {
+Task *vetTask(Engine &E, Processor &P, TaskId Id) {
   Task *T = E.liveTask(Id);
   if (!T || T->State != TaskState::Ready)
     return nullptr;
@@ -30,8 +30,10 @@ Task *vetTask(Engine &E, TaskId Id) {
   if (G.State == GroupState::Stopped) {
     T->State = TaskState::Stopped;
     G.Parked.push_back(Id);
+    E.tracer().record(TraceEventKind::TaskParked, P.Id, P.Clock, Id);
   } else {
     // Killed group: drop the task entirely.
+    E.tracer().record(TraceEventKind::TaskDropped, P.Id, P.Clock, Id);
     E.finishTask(*T);
   }
   return nullptr;
@@ -42,8 +44,9 @@ Task *vetTask(Engine &E, TaskId Id) {
 TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
   uint64_t Cycles = 0;
   EngineStats &S = E.stats();
+  Tracer &Tr = E.tracer();
   auto Accept = [&](TaskId Id, bool FromNewQueue, bool Stolen) -> TaskId {
-    Task *T = vetTask(E, Id);
+    Task *T = vetTask(E, P, Id);
     if (!T)
       return InvalidTask;
     uint64_t Base = FromNewQueue ? cost::DispatchNewBase : cost::DispatchSuspBase;
@@ -75,6 +78,9 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
     T->State = TaskState::Running;
     T->LastProc = P.Id;
     Cycles = 0;
+    if (Tr.enabled())
+      Tr.record(TraceEventKind::TaskStart, P.Id, P.Clock, T->Id,
+                Stolen ? 1 : 0);
     return T->Id;
   };
 
@@ -99,34 +105,54 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
   }
 
   unsigned N = M.numProcessors();
+  // Steal attempts are counted per *probe* of a victim queue, not per
+  // victim: when vetting rejects a popped task the retry probes again and
+  // must count again, or the Steals/StealAttempts ratio overstates
+  // success. Every probe ends in exactly one of Steals (Accept took it)
+  // or StealsFailed (queue empty, or the popped task was parked/dropped).
+  auto StealFrom = [&](Processor &Victim, bool FromNewQueue) -> TaskId {
+    for (;;) {
+      ++S.StealAttempts;
+      TaskId Id =
+          FromNewQueue
+              ? Victim.Queues.stealNew(P.Clock + Cycles, Cycles,
+                                       M.stealOrder())
+              : Victim.Queues.stealSuspended(P.Clock + Cycles, Cycles,
+                                             M.stealOrder());
+      if (Id == InvalidTask) {
+        ++S.StealsFailed;
+        if (Tr.enabled())
+          Tr.record(TraceEventKind::StealAttempt, P.Id, P.Clock + Cycles,
+                    Victim.Id, 0);
+        return InvalidTask;
+      }
+      TaskId Got = Accept(Id, FromNewQueue, /*Stolen=*/true);
+      if (Got != InvalidTask) {
+        if (Tr.enabled())
+          Tr.record(TraceEventKind::StealAttempt, P.Id, P.Clock, Victim.Id,
+                    1);
+        return Got;
+      }
+      ++S.StealsFailed; // popped a task the vet parked or dropped
+      if (Tr.enabled())
+        Tr.record(TraceEventKind::StealAttempt, P.Id, P.Clock + Cycles,
+                  Victim.Id, 0);
+    }
+  };
+
   // 3. Steal from other processors' new queues.
   for (unsigned K = 1; K < N; ++K) {
-    Processor &Victim = M.processor((P.Id + K) % N);
-    ++S.StealAttempts;
-    for (;;) {
-      TaskId Id =
-          Victim.Queues.stealNew(P.Clock + Cycles, Cycles, M.stealOrder());
-      if (Id == InvalidTask)
-        break;
-      TaskId Got = Accept(Id, /*FromNewQueue=*/true, /*Stolen=*/true);
-      if (Got != InvalidTask)
-        return Got;
-    }
+    TaskId Got = StealFrom(M.processor((P.Id + K) % N), /*FromNewQueue=*/true);
+    if (Got != InvalidTask)
+      return Got;
   }
 
   // 4. Steal from other processors' suspended queues.
   for (unsigned K = 1; K < N; ++K) {
-    Processor &Victim = M.processor((P.Id + K) % N);
-    ++S.StealAttempts;
-    for (;;) {
-      TaskId Id = Victim.Queues.stealSuspended(P.Clock + Cycles, Cycles,
-                                               M.stealOrder());
-      if (Id == InvalidTask)
-        break;
-      TaskId Got = Accept(Id, /*FromNewQueue=*/false, /*Stolen=*/true);
-      if (Got != InvalidTask)
-        return Got;
-    }
+    TaskId Got =
+        StealFrom(M.processor((P.Id + K) % N), /*FromNewQueue=*/false);
+    if (Got != InvalidTask)
+      return Got;
   }
 
   // 5. Lazy futures: split a provisionally inlined task.
@@ -141,6 +167,8 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
       ++S.Dispatches;
       ++P.Dispatches;
       ++P.TasksStarted;
+      if (Tr.enabled())
+        Tr.record(TraceEventKind::TaskStart, P.Id, P.Clock, R.NewTask, 2);
       return R.NewTask;
     }
     // NeedsGc is handled implicitly: the allocation failure path already

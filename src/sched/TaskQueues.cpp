@@ -9,23 +9,27 @@
 
 #include "vm/CostModel.h"
 
+#include <algorithm>
+
 using namespace mult;
 
 uint64_t TaskQueues::pushNew(TaskId T, uint64_t Now) {
   uint64_t C = NewLock.acquire(Now, cost::QueueLockHold);
   NewQ.push_back(T);
+  NewHighWater = std::max(NewHighWater, NewQ.size());
   return C + 2;
 }
 
 uint64_t TaskQueues::pushSuspended(TaskId T, uint64_t Now) {
   uint64_t C = SuspLock.acquire(Now, cost::QueueLockHold);
   SuspQ.push_back(T);
+  SuspHighWater = std::max(SuspHighWater, SuspQ.size());
   return C + 2;
 }
 
 TaskId TaskQueues::popNew(uint64_t Now, uint64_t &Cycles) {
   if (NewQ.empty()) {
-    Cycles += 2; // emptiness check
+    Cycles += cost::QueueEmptyCheck; // lock-free; see CostModel.h
     return InvalidTask;
   }
   Cycles += NewLock.acquire(Now, cost::QueueLockHold) + 2;
@@ -36,7 +40,7 @@ TaskId TaskQueues::popNew(uint64_t Now, uint64_t &Cycles) {
 
 TaskId TaskQueues::popSuspended(uint64_t Now, uint64_t &Cycles) {
   if (SuspQ.empty()) {
-    Cycles += 2;
+    Cycles += cost::QueueEmptyCheck;
     return InvalidTask;
   }
   Cycles += SuspLock.acquire(Now, cost::QueueLockHold) + 2;

@@ -52,11 +52,23 @@ public:
   /// section 3: "the number of tasks on that processor's queues").
   size_t depth() const { return NewQ.size() + SuspQ.size(); }
 
+  /// \name Depth high-water marks (since the last resetHighWater)
+  /// @{
+  size_t newHighWater() const { return NewHighWater; }
+  size_t suspendedHighWater() const { return SuspHighWater; }
+  void resetHighWater() {
+    NewHighWater = NewQ.size();
+    SuspHighWater = SuspQ.size();
+  }
+  /// @}
+
 private:
   std::deque<TaskId> NewQ;
   std::deque<TaskId> SuspQ;
   VirtualLock NewLock;
   VirtualLock SuspLock;
+  size_t NewHighWater = 0;
+  size_t SuspHighWater = 0;
 };
 
 } // namespace mult

@@ -7,11 +7,14 @@
 
 #include "ui/Repl.h"
 
+#include "obs/Metrics.h"
+#include "obs/TraceExport.h"
 #include "reader/Reader.h"
 #include "runtime/Printer.h"
 #include "support/StrUtil.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace mult {
@@ -41,27 +44,35 @@ bool Repl::processLine(std::string_view Line) {
     return true;
   if (L == ":exit" || L == ":quit" || L == "(exit)")
     return false;
-  if (L[0] == ':') {
+  // ':' is the native command prefix; ',' is accepted as an alias for
+  // T/Mul-T muscle memory (",stats", ",trace out.json").
+  if (L[0] == ':' || L[0] == ',') {
     size_t Space = L.find(' ');
-    std::string_view Cmd = L.substr(0, Space);
+    std::string_view Cmd = L.substr(1, Space == std::string_view::npos
+                                           ? std::string_view::npos
+                                           : Space - 1);
     std::string_view Arg =
         Space == std::string_view::npos ? "" : trimmed(L.substr(Space + 1));
-    if (Cmd == ":help")
+    if (Cmd == "help")
       cmdHelp();
-    else if (Cmd == ":groups")
+    else if (Cmd == "groups")
       cmdGroups();
-    else if (Cmd == ":tasks")
+    else if (Cmd == "tasks")
       cmdTasks(Arg);
-    else if (Cmd == ":bt")
+    else if (Cmd == "bt")
       cmdBacktrace();
-    else if (Cmd == ":resume" || Cmd == ":ret")
+    else if (Cmd == "resume" || Cmd == "ret")
       cmdResume(Arg);
-    else if (Cmd == ":kill")
+    else if (Cmd == "kill")
       cmdKill(Arg);
-    else if (Cmd == ":stats")
+    else if (Cmd == "stats")
       cmdStats();
+    else if (Cmd == "trace")
+      cmdTrace(Arg);
+    else if (Cmd == "exit" || Cmd == "quit")
+      return false;
     else
-      Out << "unknown command " << Cmd << "; try :help\n";
+      Out << "unknown command " << L.substr(0, Space) << "; try :help\n";
     return true;
   }
   evalAndPrint(L);
@@ -100,8 +111,11 @@ void Repl::cmdHelp() {
          "  :resume [value]  resume the current group; the erring\n"
          "                   operation returns the value (default #f)\n"
          "  :kill [group]    kill the current (or named) group\n"
-         "  :stats           execution statistics\n"
+         "  :stats           execution statistics and metrics report\n"
+         "  :trace on|off    toggle the virtual-time event tracer\n"
+         "  :trace FILE      write the trace as Chrome/Perfetto JSON\n"
          "  :exit            leave the REPL\n"
+         "',' works as a command prefix too (\",stats\").\n"
          "anything else evaluates as a Mul-T expression (its own group)\n";
 }
 
@@ -190,4 +204,30 @@ void Repl::cmdKill(std::string_view Arg) {
   Out << ";; group " << Id << " killed\n";
 }
 
-void Repl::cmdStats() { dumpStats(Out, E.stats()); }
+void Repl::cmdStats() {
+  dumpStats(Out, E.stats());
+  MetricsReport R =
+      buildMetrics(E.machine(), E.stats(), E.gcStats(), E.tracer());
+  dumpMetrics(Out, R);
+}
+
+void Repl::cmdTrace(std::string_view Arg) {
+  if (Arg.empty() || Arg == "on" || Arg == "off") {
+    if (!Arg.empty())
+      E.tracer().setEnabled(Arg == "on");
+    Out << ";; tracing " << (E.tracer().enabled() ? "on" : "off") << " ("
+        << E.tracer().size() << " events buffered)\n";
+    return;
+  }
+  std::string Path(Arg);
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    Out << ";; cannot open " << Path << '\n';
+    return;
+  }
+  FileOutStream FS(F);
+  writeChromeTrace(FS, E.tracer(), E.machine());
+  FS.flush();
+  std::fclose(F);
+  Out << ";; wrote " << E.tracer().size() << " events to " << Path << '\n';
+}

@@ -11,7 +11,7 @@
 /// advocates.
 ///
 /// Commands: ordinary Mul-T expressions evaluate; lines starting with ':'
-/// are REPL commands (:help lists them).
+/// (or ',', T-style) are REPL commands (:help lists them).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +45,7 @@ private:
   void cmdResume(std::string_view Arg);
   void cmdKill(std::string_view Arg);
   void cmdStats();
+  void cmdTrace(std::string_view Arg);
 
   Engine &E;
   OutStream &Out;

@@ -77,9 +77,23 @@ inline constexpr uint64_t ResolveWaiter = 14;
 inline constexpr uint64_t DispatchSuspBase = 24;
 
 // Scheduling.
+//
+// Empty-probe cost model (shared by owner and thief paths): a queue's
+// count field is a single word, so *emptiness* is tested with one lock-free
+// read-and-branch costing QueueEmptyCheck cycles — the queue lock is only
+// acquired once the count is known nonzero (TaskQueues::pop*, steal*).
+// A thief's probe of a remote queue pays the same check plus one extra
+// cycle for the remote (cross-bus) reference, giving StealProbe =
+// QueueEmptyCheck + 1. Neither path models a lock acquisition for an
+// empty probe; on the Multimax's snoopy bus a read of a shared word is
+// exactly one (possibly remote) reference.
 inline constexpr uint64_t QueueLockHold = 4;
 inline constexpr uint64_t StealBase = 12;
-inline constexpr uint64_t StealProbe = 3; ///< checking one victim's queues
+/// Lock-free emptiness check of one's own queue: load count + branch.
+inline constexpr uint64_t QueueEmptyCheck = 2;
+/// Checking one victim queue for emptiness: the same lock-free check plus
+/// one remote bus reference.
+inline constexpr uint64_t StealProbe = QueueEmptyCheck + 1;
 inline constexpr uint64_t SeamStealBase = 24; ///< plus 1 per 4 copied words
 inline constexpr uint64_t IdleTick = 8;
 inline constexpr uint64_t TaskFinish = 6;

@@ -78,9 +78,13 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
     if (futureops::chase(Slot, Out, Unresolved, Chase)) {
       P.charge(Chase);
       Slot = Out;
+      if (E.tracer().enabled())
+        E.tracer().record(TraceEventKind::TouchHit, P.Id, P.Clock, T.Id);
       return 0;
     }
     P.charge(Chase);
+    if (E.tracer().enabled())
+      E.tracer().record(TraceEventKind::TouchBlock, P.Id, P.Clock, T.Id);
     if (!futureops::blockOnFuture(E, P, T, Unresolved))
       return 2;
     return 1;
