@@ -15,6 +15,7 @@
 
 #include "core/Engine.h"
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "obs/TraceExport.h"
 #include "runtime/Printer.h"
 #include "support/StrUtil.h"
@@ -31,11 +32,20 @@ using namespace mult;
 /// Observability switches, environment-driven so the benchmark binaries
 /// keep their argument-free table-regeneration interface:
 ///   MULT_TRACE=1       enable the event tracer for the timed region
-///   MULT_METRICS=1     print the aggregated metrics report per run
+///   MULT_METRICS=1     print the aggregated metrics report per run, plus
+///                      one machine-parseable ";; virtual-cycles: <tag> <n>"
+///                      line per run (the regression dashboard's input)
+///   MULT_PROFILE=1     enable tracing and print the critical-path profile
+///                      (work, span, parallelism, per-future-site) per run
 ///   MULT_TRACE_DIR=D   write D/<tag>.trace.json per traced run
+///   MULT_TRACE_MODE=M  trace sink: unbounded (default), ring:N, or
+///                      stream[:PATH] (see Tracer::configureSink)
 inline bool traceRequested() { return std::getenv("MULT_TRACE") != nullptr; }
 inline bool metricsRequested() {
   return std::getenv("MULT_METRICS") != nullptr;
+}
+inline bool profileRequested() {
+  return std::getenv("MULT_PROFILE") != nullptr;
 }
 
 /// Builds a machine configuration for one benchmark run.
@@ -47,7 +57,9 @@ inline EngineConfig machine(unsigned Procs,
   C.InlineThreshold = InlineT;
   C.LazyFutures = Lazy;
   C.HeapWords = size_t(1) << 23;
-  C.EnableTracing = traceRequested();
+  C.EnableTracing = traceRequested() || profileRequested();
+  if (const char *Mode = std::getenv("MULT_TRACE_MODE"))
+    C.TraceSink = Mode;
   return C;
 }
 
@@ -59,6 +71,17 @@ inline void reportRun(Engine &E, const std::string &Tag) {
     FileOutStream &OS = FileOutStream::stdoutStream();
     dumpMetrics(OS, buildMetrics(E.machine(), E.stats(), E.gcStats(),
                                  E.tracer()));
+    OS.flush();
+    // The stable parse target for tools/collect_metrics.py: exact virtual
+    // cycle count of the preceding timed run (deterministic per commit).
+    std::printf(";; virtual-cycles: %s %llu\n", Tag.c_str(),
+                static_cast<unsigned long long>(E.stats().ElapsedCycles));
+  }
+  if (profileRequested()) {
+    std::printf("\n;; profile: %s\n", Tag.c_str());
+    FileOutStream &OS = FileOutStream::stdoutStream();
+    dumpProfile(OS, analyzeCriticalPath(E.tracer()),
+                E.machine().numProcessors(), E.stats().ElapsedCycles);
     OS.flush();
   }
   if (const char *Dir = std::getenv("MULT_TRACE_DIR");

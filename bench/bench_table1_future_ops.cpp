@@ -25,6 +25,7 @@ FutureStepStats measureSteps() {
     std::fprintf(stderr, "failed: %s\n", R.Error.c_str());
     std::exit(1);
   }
+  reportRun(E, "table1_touch_future");
   return E.stats().Steps;
 }
 
@@ -33,18 +34,21 @@ uint64_t measureTrivialCall() {
   Engine E(machine(1));
   EvalResult D = E.eval("(define (trivial) 0)");
   (void)D;
-  auto Loop = [&](const char *Body) {
+  auto Loop = [&](const char *Body, const char *Tag) {
     E.resetStats();
     EvalResult R = E.eval(Body);
     if (!R.ok())
       std::exit(1);
+    reportRun(E, Tag);
     return E.stats().ElapsedCycles;
   };
   uint64_t With = Loop("(let loop ((i 0)) (if (= i 10000) 'done "
-                       "(begin (trivial) (loop (+ i 1)))))");
+                       "(begin (trivial) (loop (+ i 1)))))",
+                       "table1_call_loop");
   uint64_t Without =
       Loop("(let loop ((i 0)) (if (= i 10000) 'done "
-           "(begin 0 (loop (+ i 1)))))");
+           "(begin 0 (loop (+ i 1)))))",
+           "table1_empty_loop");
   return (With - Without) / 10000;
 }
 
@@ -58,6 +62,7 @@ uint64_t measureNonBlocking() {
       "  (touch f))");
   if (!R.ok())
     std::exit(1);
+  reportRun(E, "table1_nonblocking");
   return E.stats().Steps.total();
 }
 

@@ -44,6 +44,8 @@ double runBoyer(bool Touches, bool Optimize, int Iterations,
                  Result.c_str());
     std::exit(1);
   }
+  reportRun(E, !Touches ? "boyer_seq_t3"
+                        : (Optimize ? "boyer_seq_opt" : "boyer_seq_noopt"));
   *StatsOut = &E.compileStats();
   *KeepAlive = &E;
   return Secs / Iterations;

@@ -53,40 +53,53 @@ Engine makeEngine(unsigned Procs, bool Seq, std::optional<unsigned> T) {
   return Engine(C);
 }
 
+/// Cell tag for reportRun: "permute_seq", "permute_p4", ...
+std::string cellTag(const char *App, unsigned Procs, bool Seq) {
+  return Seq ? std::string(App) + "_seq" : strFormat("%s_p%u", App, Procs);
+}
+
 double permuteCell(unsigned Procs, bool Seq, const Scale &S) {
   // Paper: run with T = infinity ("plenty of parallelism ... even though
   // no inlining was used").
   Engine E = makeEngine(Procs, Seq, std::nullopt);
-  return runVirtualSeconds(
+  double Secs = runVirtualSeconds(
       E, PermuteSource,
       strFormat("(permute-run %d %d %d %d %d)", S.PermuteTarget,
                 S.PermuteLen, S.PermuteDmin, S.PermuteChunk,
                 S.PermuteBatch));
+  reportRun(E, cellTag("permute", Procs, Seq));
+  return Secs;
 }
 
 double queensCell(unsigned Procs, bool Seq, const Scale &S) {
   // Large-granularity tasks; the paper used no inlining.
   Engine E = makeEngine(Procs, Seq, std::nullopt);
-  return runVirtualSeconds(E, QueensSource,
-                           strFormat(Seq ? "(queens-seq %d)"
-                                         : "(queens-par %d)",
-                                     S.QueensN));
+  double Secs = runVirtualSeconds(E, QueensSource,
+                                  strFormat(Seq ? "(queens-seq %d)"
+                                                : "(queens-par %d)",
+                                            S.QueensN));
+  reportRun(E, cellTag("queens", Procs, Seq));
+  return Secs;
 }
 
 double compilerCell(unsigned Procs, bool Seq, const Scale &S) {
   Engine E = makeEngine(Procs, Seq, std::nullopt);
-  return runVirtualSeconds(
+  double Secs = runVirtualSeconds(
       E, MiniCompilerSource,
       strFormat("(car (mc-compile-program (mc-gen-program %d %d) %s))",
                 S.CompilerProcs, S.CompilerDepth, Seq ? "#f" : "#t"));
+  reportRun(E, cellTag("compiler", Procs, Seq));
+  return Secs;
 }
 
 double mergesortCell(unsigned Procs, bool Seq, const Scale &S) {
   // Paper: "Inlining (T = 1) is crucial to good performance".
   Engine E = makeEngine(Procs, Seq, 1u);
-  return runVirtualSeconds(
+  double Secs = runVirtualSeconds(
       E, MergesortSource,
       strFormat("(mergesort-test %d)", 1 << S.MergesortK));
+  reportRun(E, cellTag("msort", Procs, Seq));
+  return Secs;
 }
 
 /// The paper's analytical model: t(k,l) = c[(k-l-2)2^(k-l-1) + 2^k],

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 using namespace mult;
 
@@ -44,6 +45,11 @@ Engine::Engine(const EngineConfig &Config)
                  Config.MaxRunCycles, Config.StealPolicy),
       Rng(Config.RandomSeed) {
   TheTracer.setEnabled(Config.EnableTracing);
+  if (!Config.TraceSink.empty()) {
+    std::string Err;
+    if (!TheTracer.configureSink(Config.TraceSink, Err))
+      std::fprintf(stderr, "mult: ignoring TraceSink: %s\n", Err.c_str());
+  }
   bootstrap();
 }
 
@@ -195,7 +201,7 @@ TaskId Engine::newEmptyTask(GroupId G, unsigned Proc) {
 }
 
 TaskId Engine::newTask(GroupId G, Value Closure, Value ResultFuture,
-                       Value DynEnv, unsigned Proc) {
+                       Value DynEnv, unsigned Proc, TaskId Parent) {
   TaskId Id = newEmptyTask(G, Proc);
   Task &T = task(Id);
   T.initForThunk(Id, G, Closure, ResultFuture, DynEnv, Proc);
@@ -204,7 +210,7 @@ TaskId Engine::newTask(GroupId G, Value Closure, Value ResultFuture,
     ++group(G).TasksCreated;
   if (TheTracer.enabled())
     TheTracer.record(TraceEventKind::TaskCreate, Proc,
-                     TheMachine.processor(Proc).Clock, Id, G);
+                     TheMachine.processor(Proc).Clock, Id, G, Parent);
   return Id;
 }
 

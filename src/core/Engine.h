@@ -82,6 +82,10 @@ struct EngineConfig {
   /// either way; off by default so benches pay nothing. Can also be
   /// toggled at run time via Engine::tracer().setEnabled.
   bool EnableTracing = false;
+  /// Trace sink spec: "" / "unbounded", "ring:N", or "stream[:PATH]"
+  /// (see Tracer::configureSink). Malformed specs are reported to stderr
+  /// at construction and the default unbounded sink is kept.
+  std::string TraceSink;
 };
 
 /// Result of Engine::eval and friends.
@@ -177,9 +181,11 @@ public:
   /// Null if the id's generation is stale or the task is Done.
   Task *liveTask(TaskId Id);
   Group &group(GroupId Id);
-  /// Creates (or recycles) a task running \p Closure.
+  /// Creates (or recycles) a task running \p Closure. \p Parent is the
+  /// creating task (the future-spawn DAG edge recorded in the trace);
+  /// InvalidTask for roots and server tasks that no task spawned.
   TaskId newTask(GroupId G, Value Closure, Value ResultFuture, Value DynEnv,
-                 unsigned Proc);
+                 unsigned Proc, TaskId Parent = InvalidTask);
   /// Marks \p T done and recycles its slot.
   void finishTask(Task &T);
   size_t taskSlotCount() const { return Tasks.size(); }

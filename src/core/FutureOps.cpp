@@ -50,6 +50,13 @@ static uint32_t enterThunk(Task &T) {
 bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
   const EngineConfig &Cfg = E.config();
   Tracer &Tr = E.tracer();
+  // The future site: one id per textual `future` expression, keyed on the
+  // code object + pc of the FutureOp. Interned before enterThunk moves
+  // T.CurCode/T.Pc into the thunk.
+  uint32_t Site = 0;
+  if (Tr.enabled())
+    Site = Tr.futureSiteId(T.CurCode, T.Pc,
+                           T.CurCode ? T.CurCode->Name : std::string_view());
 
   // Lazy futures: provisionally inline everything, leave a seam.
   if (Cfg.LazyFutures) {
@@ -58,7 +65,8 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
     P.charge(cost::LazySeamPush);
     E.stats().Steps.MakeThunkCycles += cost::LazySeamPush;
     if (Tr.enabled())
-      Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 2);
+      Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 2, Site,
+                T.Frames[FrameIdx].SeamSerial);
     return true;
   }
 
@@ -70,7 +78,7 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
     P.charge(cost::FutureInline);
     ++E.stats().TasksInlined;
     if (Tr.enabled())
-      Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 0);
+      Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 0, Site);
     return true;
   }
 
@@ -89,7 +97,7 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
   Value Thunk = T.Stack.back();
   T.Stack.pop_back();
   TaskId Child =
-      E.newTask(T.Group, Thunk, Value::future(Fut), T.DynEnv, P.Id);
+      E.newTask(T.Group, Thunk, Value::future(Fut), T.DynEnv, P.Id, T.Id);
   Fut->setSlot(Object::FutTaskId,
                Value::fixnum(static_cast<int64_t>(taskIndex(Child))));
 
@@ -99,8 +107,8 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
   E.stats().Steps.CreateEnqueueCycles += Cycles;
   ++E.stats().FuturesCreated;
   if (Tr.enabled()) {
-    Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 1);
-    Tr.record(TraceEventKind::FutureCreate, P.Id, P.Clock, Child);
+    Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 1, Site);
+    Tr.record(TraceEventKind::FutureCreate, P.Id, P.Clock, Child, Site);
   }
 
   T.Stack.push_back(Value::future(Fut));
@@ -138,6 +146,17 @@ void futureops::resolveFuture(Engine &E, Processor &P, Object *Fut,
   Value Waiters = Fut->futureWaiters();
   Fut->resolveFutureSlots(Result);
 
+  // Stamp the future with a fresh resolve serial so later touch-hits can
+  // name this resolve in the trace. The FutTaskId slot is free for this:
+  // nothing reads it after creation, and the negative sign keeps stamps
+  // distinguishable from the task indices written there at creation.
+  uint64_t Serial = 0;
+  if (E.tracer().enabled()) {
+    Serial = E.tracer().newResolveSerial();
+    Fut->setSlot(Object::FutTaskId,
+                 Value::fixnum(-static_cast<int64_t>(Serial)));
+  }
+
   uint64_t Cycles = cost::ResolveBase;
   unsigned Woken = 0;
   for (Value W = Waiters; !W.isNil(); W = W.asObject()->cdr()) {
@@ -157,11 +176,12 @@ void futureops::resolveFuture(Engine &E, Processor &P, Object *Fut,
     ++Woken;
     if (E.tracer().enabled())
       E.tracer().record(TraceEventKind::TaskResume, P.Id, P.Clock + Cycles,
-                        Waiter->Id, Waiter->LastProc);
+                        Waiter->Id, Waiter->LastProc, P.Current);
   }
   P.charge(Cycles);
   if (E.tracer().enabled())
-    E.tracer().record(TraceEventKind::FutureResolve, P.Id, P.Clock, Woken);
+    E.tracer().record(TraceEventKind::FutureResolve, P.Id, P.Clock, Woken, 0,
+                      Serial);
 
   if (E.rootFutureObject() == Fut) {
     E.noteRootResolved(P.Clock);

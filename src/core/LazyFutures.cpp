@@ -112,7 +112,8 @@ lazyfutures::StealResult lazyfutures::trySteal(Engine &E, Processor &P) {
     E.group(Victim->Group).TasksCreated++;
     if (E.tracer().enabled())
       E.tracer().record(TraceEventKind::SeamSteal, P.Id, P.Clock, ParentId,
-                        static_cast<uint32_t>(taskIndex(Victim->Id)));
+                        static_cast<uint32_t>(taskIndex(Victim->Id)),
+                        Ref.Serial);
     return StealResult{StealResult::Kind::Stolen, ParentId};
   }
   return StealResult{StealResult::Kind::Nothing, InvalidTask};

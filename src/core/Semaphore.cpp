@@ -69,7 +69,7 @@ void sem::v(Engine &E, Processor &P, Object *Sem) {
     P.charge(Home.Queues.pushSuspended(Id, P.Clock) + 4);
     if (E.tracer().enabled())
       E.tracer().record(TraceEventKind::TaskResume, P.Id, P.Clock, Waiter->Id,
-                        Waiter->LastProc);
+                        Waiter->LastProc, P.Current);
     return;
   }
   Sem->setSemaphoreCount(Sem->semaphoreCount() + 1);

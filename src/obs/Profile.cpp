@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile report rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profile.h"
+
+#include "core/Stats.h"
+#include "support/StrUtil.h"
+
+using namespace mult;
+
+void mult::dumpProfile(OutStream &OS, const CriticalPathReport &R,
+                       unsigned MeasuredProcs, uint64_t MeasuredCycles) {
+  if (!R.Ok) {
+    OS << "profile unavailable: " << R.Error << "\n";
+    return;
+  }
+
+  OS << "critical-path profile (virtual cycles; 1 cycle = "
+     << strFormat("%.2f", EngineStats::MicrosecondsPerCycle) << " us):\n";
+  OS << strFormat("  work         %12llu  (%.4fs virtual)\n",
+                  static_cast<unsigned long long>(R.Work),
+                  EngineStats::cyclesToSeconds(R.Work));
+  OS << strFormat("  span         %12llu  (%.4fs virtual)\n",
+                  static_cast<unsigned long long>(R.Span),
+                  EngineStats::cyclesToSeconds(R.Span));
+  OS << strFormat("  parallelism  %15.2f\n", R.parallelism());
+  OS << strFormat("  tasks %llu, run segments %llu, join edges %llu",
+                  static_cast<unsigned long long>(R.Tasks),
+                  static_cast<unsigned long long>(R.Segments),
+                  static_cast<unsigned long long>(R.JoinEdges));
+  if (R.UnknownJoins)
+    OS << strFormat(" (%llu join edges unknowable; span may read low)",
+                    static_cast<unsigned long long>(R.UnknownJoins));
+  OS << "\n";
+
+  OS << "ideal speedup (Brent bound, T_P = max(work/P, span)):\n";
+  OS << "  procs:   ";
+  for (unsigned P : {1u, 2u, 4u, 8u, 16u, 32u})
+    OS << strFormat("%8u", P);
+  OS << "\n  speedup: ";
+  for (unsigned P : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    uint64_t Ideal = R.idealCycles(P);
+    OS << strFormat("%8.2f", Ideal ? static_cast<double>(R.Work) /
+                                         static_cast<double>(Ideal)
+                                   : 0.0);
+  }
+  OS << "\n";
+  if (MeasuredProcs && MeasuredCycles)
+    OS << strFormat("  measured on %u procs: %llu cycles vs ideal %llu "
+                    "(%.1f%% of ideal speedup)\n",
+                    MeasuredProcs,
+                    static_cast<unsigned long long>(MeasuredCycles),
+                    static_cast<unsigned long long>(
+                        R.idealCycles(MeasuredProcs)),
+                    100.0 * static_cast<double>(R.idealCycles(MeasuredProcs)) /
+                        static_cast<double>(MeasuredCycles));
+
+  if (R.Sites.empty())
+    return;
+  OS << "future sites (children = tasks spawned there):\n";
+  OS << "  site                     inline  queue   lazy  split stolen"
+        "   child-work     on-path\n";
+  for (const FutureSiteProfile &S : R.Sites) {
+    std::string Name = S.Name;
+    if (Name.size() > 24)
+      Name.resize(24);
+    OS << strFormat("  %-24s %6llu %6llu %6llu %6llu %6llu %12llu %11llu\n",
+                    Name.c_str(), static_cast<unsigned long long>(S.Inlined),
+                    static_cast<unsigned long long>(S.Queued),
+                    static_cast<unsigned long long>(S.LazySeams),
+                    static_cast<unsigned long long>(S.SeamSplits),
+                    static_cast<unsigned long long>(S.StolenStarts),
+                    static_cast<unsigned long long>(S.ChildWork),
+                    static_cast<unsigned long long>(S.ChildOnPath));
+  }
+}

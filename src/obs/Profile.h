@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text rendering of a CriticalPathReport — the `:profile` / MULT_PROFILE
+/// output.
+///
+/// The report has three blocks: the work/span/parallelism summary (cycles
+/// and virtual seconds, using the paper's 1.12 us/cycle calibration), the
+/// "what-if" ideal-speedup curve from Brent's bound to set next to the
+/// measured Table 3/4 curves, and the per-future-site table showing where
+/// each textual `future` expression spent its children's cycles and how
+/// much of that sat on the critical path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_OBS_PROFILE_H
+#define MULT_OBS_PROFILE_H
+
+#include "obs/CriticalPath.h"
+#include "support/OutStream.h"
+
+namespace mult {
+
+/// Renders \p R. A refused analysis (R.Ok == false) prints the reason.
+/// \p MeasuredProcs, when nonzero, adds the measured-vs-ideal line for
+/// the processor count the run actually used.
+void dumpProfile(OutStream &OS, const CriticalPathReport &R,
+                 unsigned MeasuredProcs = 0, uint64_t MeasuredCycles = 0);
+
+} // namespace mult
+
+#endif // MULT_OBS_PROFILE_H

@@ -8,6 +8,7 @@
 #include "ui/Repl.h"
 
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "obs/TraceExport.h"
 #include "reader/Reader.h"
 #include "runtime/Printer.h"
@@ -69,6 +70,8 @@ bool Repl::processLine(std::string_view Line) {
       cmdStats();
     else if (Cmd == "trace")
       cmdTrace(Arg);
+    else if (Cmd == "profile")
+      cmdProfile();
     else if (Cmd == "exit" || Cmd == "quit")
       return false;
     else
@@ -104,7 +107,7 @@ void Repl::evalAndPrint(std::string_view Src) {
 }
 
 void Repl::cmdHelp() {
-  Out << "REPL commands:\n"
+  Out << "REPL commands (':' or the T-style ',' prefix, e.g. \",stats\"):\n"
          "  :groups          list all groups and their states\n"
          "  :tasks <group>   list a stopped group's tasks\n"
          "  :bt              backtrace of the current task\n"
@@ -112,10 +115,16 @@ void Repl::cmdHelp() {
          "                   operation returns the value (default #f)\n"
          "  :kill [group]    kill the current (or named) group\n"
          "  :stats           execution statistics and metrics report\n"
+         "                   (task-lifetime histogram needs tracing on)\n"
          "  :trace on|off    toggle the virtual-time event tracer\n"
+         "  :trace ring:N|stream[:PATH]|unbounded\n"
+         "                   choose the trace sink (stream writes binary\n"
+         "                   events to PATH as they happen)\n"
          "  :trace FILE      write the trace as Chrome/Perfetto JSON\n"
+         "                   (benches do this per run into $MULT_TRACE_DIR)\n"
+         "  :profile         critical-path profile of the last traced run\n"
+         "                   (work, span, parallelism, per-future-site)\n"
          "  :exit            leave the REPL\n"
-         "',' works as a command prefix too (\",stats\").\n"
          "anything else evaluates as a Mul-T expression (its own group)\n";
 }
 
@@ -211,12 +220,46 @@ void Repl::cmdStats() {
   dumpMetrics(Out, R);
 }
 
+void Repl::cmdProfile() {
+  if (!E.tracer().enabled() && E.tracer().size() == 0) {
+    Out << ";; tracing is off (:trace on, rerun, then :profile)\n";
+    return;
+  }
+  CriticalPathReport R = analyzeCriticalPath(E.tracer());
+  dumpProfile(Out, R, E.machine().numProcessors(),
+              E.stats().ElapsedCycles);
+}
+
 void Repl::cmdTrace(std::string_view Arg) {
   if (Arg.empty() || Arg == "on" || Arg == "off") {
     if (!Arg.empty())
       E.tracer().setEnabled(Arg == "on");
-    Out << ";; tracing " << (E.tracer().enabled() ? "on" : "off") << " ("
-        << E.tracer().size() << " events buffered)\n";
+    Tracer &Tr = E.tracer();
+    Out << ";; tracing " << (Tr.enabled() ? "on" : "off");
+    switch (Tr.mode()) {
+    case TraceSinkMode::Unbounded:
+      Out << " (" << Tr.size() << " events buffered)\n";
+      break;
+    case TraceSinkMode::Ring:
+      Out << strFormat(" (ring of %zu: %zu buffered, %llu dropped)\n",
+                       Tr.ringCapacity(), Tr.size(),
+                       static_cast<unsigned long long>(Tr.dropped()));
+      break;
+    case TraceSinkMode::Stream:
+      Out << strFormat(" (streaming to %s: %llu emitted)\n",
+                       Tr.streamPath().c_str(),
+                       static_cast<unsigned long long>(Tr.emitted()));
+      break;
+    }
+    return;
+  }
+  if (Arg == "unbounded" || Arg.substr(0, 5) == "ring:" || Arg == "stream" ||
+      Arg.substr(0, 7) == "stream:") {
+    std::string Err;
+    if (E.tracer().configureSink(std::string(Arg), Err))
+      Out << ";; trace sink set to " << Arg << '\n';
+    else
+      Out << ";; " << Err << '\n';
     return;
   }
   std::string Path(Arg);

@@ -46,6 +46,7 @@ private:
   void cmdKill(std::string_view Arg);
   void cmdStats();
   void cmdTrace(std::string_view Arg);
+  void cmdProfile();
 
   Engine &E;
   OutStream &Out;

@@ -72,14 +72,24 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
     ++S.TouchesExecuted;
     if (!Slot.isFuture())
       return 0;
+    Object *Touched = Slot.pointee();
     Value Out;
     Object *Unresolved = nullptr;
     uint64_t Chase = 0;
     if (futureops::chase(Slot, Out, Unresolved, Chase)) {
       P.charge(Chase);
       Slot = Out;
-      if (E.tracer().enabled())
-        E.tracer().record(TraceEventKind::TouchHit, P.Id, P.Clock, T.Id);
+      if (E.tracer().enabled()) {
+        // resolveFuture stamps a negative resolve serial into FutTaskId;
+        // echo it so the profiler gets the resolver->toucher edge. A
+        // non-negative slot means the future resolved while tracing was
+        // off (serial 0 = unknown).
+        int64_t Stamp = Touched->slot(Object::FutTaskId).isFixnum()
+                            ? Touched->slot(Object::FutTaskId).asFixnum()
+                            : 0;
+        E.tracer().record(TraceEventKind::TouchHit, P.Id, P.Clock, T.Id, 0,
+                          Stamp < 0 ? static_cast<uint64_t>(-Stamp) : 0);
+      }
       return 0;
     }
     P.charge(Chase);

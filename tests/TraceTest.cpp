@@ -170,6 +170,158 @@ TEST(TraceTest, GcAndIdleIntervalsArePaired) {
 }
 
 //===----------------------------------------------------------------------===//
+// Sink modes and drop accounting (Recorded + Dropped == Emitted, always)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSinkTest, RingKeepsNewestAndCountsDrops) {
+  Tracer T;
+  T.setEnabled(true);
+  T.setRingCapacity(4);
+  for (uint64_t I = 0; I < 10; ++I)
+    T.record(TraceEventKind::TaskStart, 0, /*Clock=*/I, /*A=*/I);
+  EXPECT_EQ(T.emitted(), 10u);
+  EXPECT_EQ(T.dropped(), 6u);
+  EXPECT_EQ(T.recorded(), 4u);
+  EXPECT_EQ(T.size(), 4u);
+  // The survivors are the newest four, in emission order.
+  ASSERT_EQ(T.events().size(), 4u);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(T.events()[I].A, 6u + I);
+  // Accounting holds under capacity too.
+  T.clear();
+  EXPECT_EQ(T.emitted(), 0u);
+  T.record(TraceEventKind::TaskStart, 0, 0, 1);
+  EXPECT_EQ(T.recorded() + T.dropped(), T.emitted());
+  EXPECT_EQ(T.dropped(), 0u);
+  EXPECT_EQ(T.ringCapacity(), 4u) << "clear() keeps the configured sink";
+}
+
+TEST(TraceSinkTest, RingCapsEngineTraceMemory) {
+  EngineConfig C = tracedConfig(2);
+  C.TraceSink = "ring:256";
+  Engine E(C);
+  evalOk(E, ParallelProgram);
+  const Tracer &Tr = E.tracer();
+  EXPECT_LE(Tr.size(), 256u);
+  EXPECT_GT(Tr.dropped(), 0u) << "workload sized to overflow the ring";
+  EXPECT_EQ(Tr.recorded() + Tr.dropped(), Tr.emitted());
+  // The linearized ring is still monotone per processor.
+  std::map<unsigned, uint64_t> LastClock;
+  for (const TraceEvent &Ev : Tr.events()) {
+    auto [It, Fresh] = LastClock.try_emplace(Ev.Proc, Ev.Clock);
+    if (!Fresh) {
+      EXPECT_GE(Ev.Clock, It->second);
+      It->second = Ev.Clock;
+    }
+  }
+}
+
+TEST(TraceSinkTest, StreamWritesLoadableFile) {
+  std::string Path = ::testing::TempDir() + "mult_stream_trace.bin";
+  {
+    Tracer T;
+    T.setEnabled(true);
+    std::string Err;
+    ASSERT_TRUE(T.configureSink("stream:" + Path, Err)) << Err;
+    EXPECT_EQ(T.mode(), TraceSinkMode::Stream);
+    EXPECT_EQ(T.size(), 0u) << "stream buffers nothing in memory";
+    for (uint64_t I = 0; I < 100; ++I)
+      T.record(TraceEventKind::TouchHit, I % 3, 1000 + I, I, I * 2, I * 3);
+    EXPECT_EQ(T.emitted(), 100u);
+    T.flushStream();
+    // ~Tracer patches the final counters and closes the file.
+  }
+  TraceFile F;
+  std::string Err;
+  ASSERT_TRUE(readTraceFile(Path, F, Err)) << Err;
+  EXPECT_EQ(F.Emitted, 100u);
+  EXPECT_EQ(F.Dropped, 0u);
+  ASSERT_EQ(F.Events.size(), 100u);
+  for (uint64_t I = 0; I < 100; ++I) {
+    EXPECT_EQ(F.Events[I].Clock, 1000 + I);
+    EXPECT_EQ(F.Events[I].A, I);
+    EXPECT_EQ(F.Events[I].B, I * 2);
+    EXPECT_EQ(F.Events[I].C, I * 3);
+    EXPECT_EQ(F.Events[I].Proc, I % 3);
+    EXPECT_EQ(static_cast<int>(F.Events[I].Kind),
+              static_cast<int>(TraceEventKind::TouchHit));
+  }
+  // The loaded trace feeds the analyzer path used for stream-mode runs.
+  std::remove(Path.c_str());
+}
+
+TEST(TraceSinkTest, ReadTraceFileRejectsGarbage) {
+  std::string Path = ::testing::TempDir() + "mult_not_a_trace.bin";
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("definitely not a trace file", F);
+  std::fclose(F);
+  TraceFile Out;
+  std::string Err;
+  EXPECT_FALSE(readTraceFile(Path, Out, Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(readTraceFile(Path + ".missing", Out, Err));
+  std::remove(Path.c_str());
+}
+
+TEST(TraceSinkTest, ConfigureSinkRejectsMalformedSpecs) {
+  Tracer T;
+  std::string Err;
+  EXPECT_FALSE(T.configureSink("ring:0", Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(T.configureSink("ring:abc", Err));
+  EXPECT_FALSE(T.configureSink("ring:", Err));
+  EXPECT_FALSE(T.configureSink("bogus", Err));
+  EXPECT_EQ(T.mode(), TraceSinkMode::Unbounded) << "bad specs change nothing";
+  EXPECT_TRUE(T.configureSink("ring:8", Err)) << Err;
+  EXPECT_EQ(T.ringCapacity(), 8u);
+  EXPECT_TRUE(T.configureSink("unbounded", Err)) << Err;
+  EXPECT_EQ(T.mode(), TraceSinkMode::Unbounded);
+}
+
+TEST(TraceSinkTest, SwitchingSinksStartsAFreshRecording) {
+  // A sink switch discards the buffer, so it must also reset the
+  // counters: a stream header claiming events recorded under the
+  // previous sink would break Recorded + Dropped == Emitted.
+  Tracer T;
+  T.setEnabled(true);
+  for (uint64_t I = 0; I < 5; ++I)
+    T.record(TraceEventKind::TaskStart, 0, I);
+  EXPECT_EQ(T.emitted(), 5u);
+  std::string Err;
+  ASSERT_TRUE(T.configureSink("ring:4", Err)) << Err;
+  EXPECT_EQ(T.emitted(), 0u);
+  EXPECT_EQ(T.dropped(), 0u);
+  EXPECT_EQ(T.size(), 0u);
+  for (uint64_t I = 0; I < 6; ++I)
+    T.record(TraceEventKind::TaskStart, 0, I);
+  EXPECT_EQ(T.dropped(), 2u);
+  std::string Path = ::testing::TempDir() + "mult_switch_trace.bin";
+  ASSERT_TRUE(T.configureSink("stream:" + Path, Err)) << Err;
+  EXPECT_EQ(T.emitted(), 0u);
+  EXPECT_EQ(T.dropped(), 0u);
+  T.record(TraceEventKind::TaskStart, 0, 0);
+  ASSERT_TRUE(T.configureSink("unbounded", Err)) << Err;
+  EXPECT_EQ(T.emitted(), 0u);
+  TraceFile F;
+  ASSERT_TRUE(readTraceFile(Path, F, Err)) << Err;
+  EXPECT_EQ(F.Emitted, 1u) << "header counts only this sink's events";
+  EXPECT_EQ(F.Events.size(), 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceSinkTest, ResolveSerialsSurviveClear) {
+  // Serials must never repeat within an engine: a cleared buffer does not
+  // license reusing a serial a stale future stamp may still carry.
+  Tracer T;
+  T.setEnabled(true);
+  uint64_t S1 = T.newResolveSerial();
+  T.clear();
+  uint64_t S2 = T.newResolveSerial();
+  EXPECT_GT(S2, S1);
+}
+
+//===----------------------------------------------------------------------===//
 // Exporter
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Virtual-time regression dashboard for the Mul-T bench suite.
+
+The bench binaries print, when run with MULT_METRICS=1, one stable
+machine-readable line per measured engine run:
+
+    ;; virtual-cycles: <tag> <cycles>
+
+Virtual cycles are deterministic (the engine simulates its processors in
+virtual time), so any drift between commits is a real semantic or
+cost-model change, never host noise. This script:
+
+  * runs the four paper-table benches and collects the tag -> cycles map,
+  * writes it to <out-dir>/BENCH_<sha>.json for the current commit,
+  * optionally diffs it against a golden file (--check, exit 1 on ANY
+    drift -- virtual time has no tolerance band),
+  * optionally rewrites the golden file (--update-golden),
+  * renders the accumulated BENCH_*.json history as a markdown or CSV
+    trend table (--render).
+
+Typical uses:
+
+    tools/collect_metrics.py --build-dir build
+    tools/collect_metrics.py --build-dir build --check tools/golden_metrics.json
+    tools/collect_metrics.py --build-dir build --update-golden tools/golden_metrics.json
+    tools/collect_metrics.py --render markdown
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+
+# Behave like a normal Unix filter when piped into `head`.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+BENCHES = [
+    "bench_table1_future_ops",
+    "bench_table2_boyer_seq",
+    "bench_table3_boyer_par",
+    "bench_table4_apps",
+]
+
+METRIC_LINE = re.compile(r"^;; virtual-cycles: (\S+) (\d+)\s*$")
+
+
+def fail(msg):
+    print(f"collect_metrics: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def current_commit():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "worktree"
+
+
+def run_benches(build_dir):
+    """Run every bench with MULT_METRICS=1 and return {tag: cycles}."""
+    env = dict(os.environ, MULT_METRICS="1")
+    # Tracing changes nothing about virtual time, but keep runs minimal
+    # and independent of the caller's environment.
+    for var in ("MULT_TRACE", "MULT_PROFILE", "MULT_TRACE_MODE",
+                "MULT_TRACE_DIR"):
+        env.pop(var, None)
+    cycles = {}
+    for bench in BENCHES:
+        exe = os.path.join(build_dir, "bench", bench)
+        if not os.path.exists(exe):
+            fail(f"bench binary not found: {exe} (build the repo first)")
+        print(f"  running {bench} ...", flush=True)
+        proc = subprocess.run([exe], env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            fail(f"{bench} exited with status {proc.returncode}")
+        found = 0
+        for line in proc.stdout.splitlines():
+            m = METRIC_LINE.match(line)
+            if not m:
+                continue
+            tag, value = m.group(1), int(m.group(2))
+            # Some benches legitimately re-run a configuration (table 2
+            # re-measures two rows for the overhead summary); identical
+            # repeats are fine, conflicting ones mean the tag is ambiguous.
+            if tag in cycles and cycles[tag] != value:
+                fail(f"{bench}: tag '{tag}' reported twice with different "
+                     f"values ({cycles[tag]} vs {value})")
+            cycles[tag] = value
+            found += 1
+        if not found:
+            fail(f"{bench} printed no ';; virtual-cycles:' lines -- "
+                 "was it built without MULT_METRICS support?")
+    return cycles
+
+
+def check_against_golden(cycles, golden_path):
+    """Exact diff against the golden file. Returns the number of drifts."""
+    try:
+        with open(golden_path) as f:
+            golden = json.load(f)["cycles"]
+    except (OSError, KeyError, json.JSONDecodeError) as e:
+        fail(f"cannot read golden file {golden_path}: {e}")
+    drifts = 0
+    for tag in sorted(set(golden) | set(cycles)):
+        want, got = golden.get(tag), cycles.get(tag)
+        if want == got:
+            continue
+        drifts += 1
+        if want is None:
+            print(f"  NEW      {tag}: {got} (not in golden file)")
+        elif got is None:
+            print(f"  MISSING  {tag}: golden expects {want}")
+        else:
+            delta = got - want
+            print(f"  DRIFT    {tag}: {want} -> {got} ({delta:+d} cycles, "
+                  f"{100.0 * delta / want:+.2f}%)")
+    if drifts:
+        print(f"FAIL: {drifts} virtual-time metric(s) drifted from "
+              f"{golden_path}.")
+        print("If the change is intentional, refresh with: "
+              f"tools/collect_metrics.py --update-golden {golden_path}")
+    else:
+        print(f"OK: all {len(cycles)} virtual-time metrics match "
+              f"{golden_path}.")
+    return drifts
+
+
+def load_history(out_dir):
+    """All BENCH_*.json in out_dir, oldest first by recorded sequence."""
+    entries = []
+    if not os.path.isdir(out_dir):
+        return entries
+    for name in os.listdir(out_dir):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(out_dir, name)
+        try:
+            with open(path) as f:
+                data = json.load(f)
+            entries.append((data.get("sequence", 0), data))
+        except (OSError, json.JSONDecodeError):
+            print(f"  (skipping unreadable {path})", file=sys.stderr)
+    entries.sort(key=lambda e: e[0])
+    return [data for _, data in entries]
+
+
+def render(history, fmt, out):
+    if not history:
+        fail("no BENCH_*.json files to render; run the collector first")
+    tags = sorted({t for entry in history for t in entry["cycles"]})
+    commits = [entry["commit"] for entry in history]
+    if fmt == "csv":
+        out.write("tag," + ",".join(commits) + "\n")
+        for tag in tags:
+            row = [str(entry["cycles"].get(tag, "")) for entry in history]
+            out.write(tag + "," + ",".join(row) + "\n")
+        return
+    # Markdown: one row per tag, one column per commit, plus the delta of
+    # the newest commit against the previous one.
+    out.write("| benchmark | " + " | ".join(commits) + " | latest delta |\n")
+    out.write("|---|" + "---|" * (len(commits) + 1) + "\n")
+    for tag in tags:
+        cells = []
+        for entry in history:
+            v = entry["cycles"].get(tag)
+            cells.append(f"{v}" if v is not None else "--")
+        delta = "--"
+        if len(history) >= 2:
+            prev = history[-2]["cycles"].get(tag)
+            last = history[-1]["cycles"].get(tag)
+            if prev is not None and last is not None:
+                d = last - prev
+                delta = "0" if d == 0 else f"{d:+d} ({100.0 * d / prev:+.2f}%)"
+        out.write(f"| {tag} | " + " | ".join(cells) + f" | {delta} |\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory containing bench/ binaries")
+    ap.add_argument("--out-dir", default="tools/metrics",
+                    help="directory for per-commit BENCH_<sha>.json files")
+    ap.add_argument("--commit", default=None,
+                    help="commit label (default: git rev-parse --short HEAD)")
+    ap.add_argument("--check", metavar="GOLDEN",
+                    help="diff against a golden metrics file; exit 1 on drift")
+    ap.add_argument("--update-golden", metavar="GOLDEN",
+                    help="rewrite the golden metrics file from this run")
+    ap.add_argument("--render", choices=["markdown", "csv"], default=None,
+                    help="render the BENCH_*.json history and exit "
+                         "(does not run benches)")
+    args = ap.parse_args()
+
+    if args.render:
+        render(load_history(args.out_dir), args.render, sys.stdout)
+        return
+
+    commit = args.commit or current_commit()
+    print(f"collecting virtual-time metrics for {commit}")
+    cycles = run_benches(args.build_dir)
+    print(f"  {len(cycles)} metrics collected")
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    history = load_history(args.out_dir)
+    sequence = max((e.get("sequence", 0) for e in history), default=0) + 1
+    record = {"commit": commit, "sequence": sequence, "cycles": cycles}
+    out_path = os.path.join(args.out_dir, f"BENCH_{commit}.json")
+    with open(out_path, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"  wrote {out_path}")
+
+    if args.update_golden:
+        with open(args.update_golden, "w") as f:
+            json.dump({"cycles": cycles}, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"  wrote {args.update_golden}")
+
+    if args.check:
+        sys.exit(1 if check_against_golden(cycles, args.check) else 0)
+
+
+if __name__ == "__main__":
+    main()
