@@ -40,6 +40,12 @@ using namespace mult;
 ///   MULT_TRACE_DIR=D   write D/<tag>.trace.json per traced run
 ///   MULT_TRACE_MODE=M  trace sink: unbounded (default), ring:N, or
 ///                      stream[:PATH] (see Tracer::configureSink)
+///   MULT_FAULTS=SPEC   arm the deterministic fault injector for every
+///                      run (picked up by the Engine itself; see
+///                      fault/FaultPlan.h for the spec grammar). With
+///                      MULT_METRICS also set, one machine-parseable
+///                      ";; fault-metrics: <tag> <name> <n>" line is
+///                      printed per robustness counter per run.
 inline bool traceRequested() { return std::getenv("MULT_TRACE") != nullptr; }
 inline bool metricsRequested() {
   return std::getenv("MULT_METRICS") != nullptr;
@@ -76,6 +82,18 @@ inline void reportRun(Engine &E, const std::string &Tag) {
     // cycle count of the preceding timed run (deterministic per commit).
     std::printf(";; virtual-cycles: %s %llu\n", Tag.c_str(),
                 static_cast<unsigned long long>(E.stats().ElapsedCycles));
+    if (E.faults().armed()) {
+      std::printf(";; fault-metrics: %s faults-injected %llu\n", Tag.c_str(),
+                  static_cast<unsigned long long>(E.stats().FaultsInjected));
+      std::printf(";; fault-metrics: %s heap-exhausted-stops %llu\n",
+                  Tag.c_str(),
+                  static_cast<unsigned long long>(
+                      E.stats().HeapExhaustedStops));
+      std::printf(";; fault-metrics: %s deadlocks-detected %llu\n",
+                  Tag.c_str(),
+                  static_cast<unsigned long long>(
+                      E.stats().DeadlocksDetected));
+    }
   }
   if (profileRequested()) {
     std::printf("\n;; profile: %s\n", Tag.c_str());

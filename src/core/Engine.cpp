@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace mult;
 
@@ -51,6 +52,34 @@ Engine::Engine(const EngineConfig &Config)
       std::fprintf(stderr, "mult: ignoring TraceSink: %s\n", Err.c_str());
   }
   bootstrap();
+  // Arm faults only after the prelude is in: a plan that fired during
+  // bootstrap would make every run start from a poisoned image.
+  std::string FaultSpec = Config.Faults;
+  if (FaultSpec.empty())
+    if (const char *Env = std::getenv("MULT_FAULTS"))
+      FaultSpec = Env;
+  if (!FaultSpec.empty()) {
+    std::string Err;
+    if (!configureFaults(FaultSpec, Err))
+      std::fprintf(stderr, "mult: ignoring MULT_FAULTS: %s\n", Err.c_str());
+  }
+}
+
+bool Engine::configureFaults(std::string_view Spec, std::string &Err) {
+  FaultPlan Plan;
+  if (!FaultPlan::parse(Spec, Plan, Err))
+    return false;
+  Injector.configure(Plan);
+  Injector.arm();
+  return true;
+}
+
+void Engine::noteFault(Processor &P, FaultKind Kind, uint64_t Detail) {
+  ++Stats.FaultsInjected;
+  if (TheTracer.enabled())
+    TheTracer.record(TraceEventKind::FaultInjected, P.Id, P.Clock,
+                     static_cast<uint64_t>(Kind), Detail,
+                     Stats.FaultsInjected);
 }
 
 Engine::~Engine() = default;
@@ -226,6 +255,14 @@ void Engine::finishTask(Task &T) {
 
 Object *Engine::tryAlloc(Processor &P, TypeTag Tag, uint32_t SizeWords,
                          uint64_t &Cycles, uint8_t Flags) {
+  if (Injector.armed() && Injector.shouldFailAlloc()) {
+    // Behaves exactly like a full heap: the VM requests a collection and
+    // retries the instruction, which succeeds (the injector marks the
+    // failure so the machine's exhaustion heuristics ignore this round).
+    noteFault(P, FaultKind::AllocFail, SizeWords);
+    Cycles += heapcost::ChunkBump;
+    return nullptr;
+  }
   Heap::AllocResult R = TheHeap.allocate(P.Id, P.Clock, Tag, SizeWords, Flags);
   Cycles += R.Cycles;
   return R.Obj;
@@ -349,6 +386,7 @@ void Engine::stopGroup(Processor &P, Task &T, std::string Condition,
   T.State = TaskState::Stopped;
   T.StopCondition = Condition;
   T.StopPop = StopPop;
+  T.StopRestartable = false;
   if (TheTracer.enabled())
     TheTracer.record(TraceEventKind::TaskStopped, P.Id, P.Clock, T.Id);
   if (G.State == GroupState::Running) {
@@ -383,6 +421,12 @@ void Engine::stopGroup(Processor &P, Task &T, std::string Condition,
   P.charge(TermLock.acquire(P.Clock, cost::TerminalLockHold));
 }
 
+void Engine::stopGroupRestartable(Processor &P, Task &T,
+                                  std::string Condition) {
+  stopGroup(P, T, std::move(Condition), 0);
+  T.StopRestartable = true;
+}
+
 std::vector<GroupId> Engine::stoppedGroups() const {
   std::vector<GroupId> Out;
   for (const Group &G : Groups)
@@ -404,9 +448,15 @@ EvalResult Engine::resumeGroup(GroupId Id, Value ResumeValue) {
   // user-supplied value.
   if (Task *T = Tasks[taskIndex(G->CurrentTask)].get();
       T && T->Id == G->CurrentTask && T->State == TaskState::Stopped) {
-    T->HasWakeAction = true;
-    T->WakePop = T->StopPop;
-    T->WakeValue = ResumeValue;
+    if (T->StopRestartable) {
+      // The faulting instruction never executed; just make the task
+      // runnable again and let it re-run from the same pc.
+      T->StopRestartable = false;
+    } else {
+      T->HasWakeAction = true;
+      T->WakePop = T->StopPop;
+      T->WakeValue = ResumeValue;
+    }
     T->State = TaskState::Ready;
     TheMachine.processor(T->LastProc)
         .Queues.pushSuspended(T->Id, TheMachine.processor(T->LastProc).Clock);
@@ -452,6 +502,84 @@ void Engine::killGroup(GroupId Id) {
   StoppedStack.erase(
       std::remove(StoppedStack.begin(), StoppedStack.end(), Id),
       StoppedStack.end());
+}
+
+std::string Engine::describeWaitGraph() {
+  // Reconstruct the task -> future -> computing-task wait-for graph from
+  // scheduler state. An unresolved future's FutTaskId slot still holds
+  // the index of the task computing it (resolve overwrites it, but then
+  // the future no longer blocks anyone), so each blocked task has at
+  // most one outgoing edge and any cycle is a simple rho-shaped walk.
+  constexpr uint32_t NoEdge = ~uint32_t(0);
+  std::vector<uint32_t> EdgeTo(Tasks.size(), NoEdge);
+  std::string Out;
+  StringOutStream OS(Out);
+
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    Task &T = *Tasks[I];
+    if (T.State == TaskState::BlockedSemaphore) {
+      OS << "  task " << I << " waits on a semaphore\n";
+      continue;
+    }
+    if (T.State != TaskState::BlockedFuture || !T.BlockedOn.isFuture())
+      continue;
+    Object *Fut = T.BlockedOn.pointee();
+    // Chase resolved links to the future actually pending.
+    while (Fut->futureResolved() && Fut->futureValue().isFuture())
+      Fut = Fut->futureValue().pointee();
+    OS << "  task " << I << " waits on a future";
+    int64_t Idx = Fut->slot(Object::FutTaskId).isFixnum()
+                      ? Fut->slot(Object::FutTaskId).asFixnum()
+                      : -1;
+    Task *Computer = (Idx >= 0 && size_t(Idx) < Tasks.size())
+                         ? Tasks[size_t(Idx)].get()
+                         : nullptr;
+    if (Computer && Computer->State != TaskState::Done &&
+        Computer->ResultFuture.isFuture() &&
+        Computer->ResultFuture.pointee() == Fut) {
+      OS << " computed by task " << Idx << "\n";
+      EdgeTo[I] = uint32_t(Idx);
+    } else {
+      OS << " whose computing task is gone\n";
+    }
+  }
+  if (Out.empty())
+    return Out;
+  Out.insert(0, "blocked tasks:\n");
+
+  // Rho walk from every blocked task; report the first cycle found.
+  std::vector<uint8_t> Mark(Tasks.size(), 0);
+  for (uint32_t Start = 0; Start < EdgeTo.size(); ++Start) {
+    if (EdgeTo[Start] == NoEdge || Mark[Start])
+      continue;
+    uint32_t Cur = Start;
+    std::vector<uint32_t> Path;
+    while (Cur != NoEdge && Mark[Cur] != 1) {
+      if (Mark[Cur] == 2)
+        break; // joins an already-explored tail: no new cycle
+      Mark[Cur] = 1;
+      Path.push_back(Cur);
+      Cur = EdgeTo[Cur];
+    }
+    bool Found = false;
+    if (Cur != NoEdge && Mark[Cur] == 1) {
+      OS << "wait cycle: ";
+      bool In = false;
+      for (uint32_t N : Path) {
+        if (N == Cur)
+          In = true;
+        if (In)
+          OS << "task " << N << " -> ";
+      }
+      OS << "task " << Cur << "\n";
+      Found = true;
+    }
+    for (uint32_t N : Path)
+      Mark[N] = 2;
+    if (Found)
+      break;
+  }
+  return Out;
 }
 
 std::string Engine::backtrace(TaskId Id) {
@@ -501,9 +629,14 @@ EvalResult Engine::translateRunResult(const RunResult &RR, GroupId G) {
     group(G).State = GroupState::Done;
     return R;
   case RunStatus::GroupStopped:
-    R.K = EvalResult::Kind::RuntimeError;
+    // Heap exhaustion inside a task stops its group (so the breakloop can
+    // inspect and kill it) but callers match on the dedicated kind.
+    R.K = RR.Error.compare(0, 14, "heap-exhausted") == 0
+              ? EvalResult::Kind::HeapExhausted
+              : EvalResult::Kind::RuntimeError;
     R.Error = RR.Error;
     R.StoppedGroup = RR.StoppedGroup;
+    R.Heap = RR.Heap;
     return R;
   case RunStatus::Deadlock:
     R.K = EvalResult::Kind::Deadlock;
@@ -512,6 +645,7 @@ EvalResult Engine::translateRunResult(const RunResult &RR, GroupId G) {
   case RunStatus::HeapExhausted:
     R.K = EvalResult::Kind::HeapExhausted;
     R.Error = RR.Error;
+    R.Heap = RR.Heap;
     return R;
   case RunStatus::CycleLimit:
     R.K = EvalResult::Kind::CycleLimit;

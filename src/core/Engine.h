@@ -26,6 +26,7 @@
 
 #include "compiler/CodeGen.h"
 #include "core/Group.h"
+#include "fault/Injector.h"
 #include "core/Stats.h"
 #include "core/Task.h"
 #include "obs/Trace.h"
@@ -73,8 +74,14 @@ struct EngineConfig {
   uint64_t RandomSeed = 0x4d756c54; // "MulT"
   /// Timeslice granularity of the virtual-time interleaving.
   uint64_t QuantumCycles = 64;
-  /// Safety net against runaway programs; ~0 = unlimited.
+  /// Safety net against runaway programs; ~0 = unlimited. Exceeding it
+  /// abandons the run with EvalResult::Kind::CycleLimit.
   uint64_t MaxRunCycles = ~uint64_t(0);
+  /// Per-run cycle *budget* for the watchdog: unlike MaxRunCycles (which
+  /// abandons the run), exceeding MaxCycles stops the running group with a
+  /// `cycle-budget-exhausted` condition — breakloop-inspectable, resumable
+  /// (with a fresh budget) or killable. ~0 = unlimited.
+  uint64_t MaxCycles = ~uint64_t(0);
   StealOrder StealPolicy = StealOrder::Lifo;
   /// Load the Lisp prelude at construction (tests may disable).
   bool LoadPrelude = true;
@@ -86,6 +93,11 @@ struct EngineConfig {
   /// (see Tracer::configureSink). Malformed specs are reported to stderr
   /// at construction and the default unbounded sink is kept.
   std::string TraceSink;
+  /// Deterministic fault-plan spec (see FaultPlan.h for the grammar).
+  /// Empty falls back to the MULT_FAULTS environment variable; malformed
+  /// specs are reported to stderr at construction and ignored. The plan
+  /// arms after bootstrap, so the prelude always loads cleanly.
+  std::string Faults;
 };
 
 /// Result of Engine::eval and friends.
@@ -103,6 +115,9 @@ struct EvalResult {
   Value Val = Value::unspecified();
   std::string Error;
   GroupId StoppedGroup = InvalidGroup;
+  /// Heap occupancy at the point of failure; meaningful for
+  /// HeapExhausted (zeroed otherwise).
+  HeapFacts Heap;
 
   bool ok() const { return K == Kind::Value; }
 };
@@ -202,7 +217,30 @@ public:
   /// and the terminal server in virtual time.
   void stopGroup(Processor &P, Task &T, std::string Condition,
                  uint32_t StopPop);
+  /// Like stopGroup, but the faulting instruction has NOT executed: the
+  /// stack is untouched and resume simply re-runs it (no wake action).
+  /// Used for injected faults and budget/heap conditions that hit before
+  /// an instruction commits.
+  void stopGroupRestartable(Processor &P, Task &T, std::string Condition);
   GroupId lastStoppedGroup() const { return LastStopped; }
+
+  /// \name Fault injection (src/fault)
+  /// @{
+  FaultInjector &faults() { return Injector; }
+  const FaultInjector &faults() const { return Injector; }
+  /// (Re)installs a fault plan at run time (the REPL's `:faults`). Empty
+  /// spec disarms. False (and \p Err set) on a malformed spec; the
+  /// previous plan is kept then.
+  bool configureFaults(std::string_view Spec, std::string &Err);
+  /// Accounts one injected fault: bumps stats and records a FaultInjected
+  /// trace event (A = kind, B = site detail, C = running count).
+  void noteFault(Processor &P, FaultKind Kind, uint64_t Detail = 0);
+  /// @}
+
+  /// Renders the task → future wait-for graph from scheduler state:
+  /// every blocked task, what it waits on, and any wait cycle found.
+  /// Empty string when nothing is blocked.
+  std::string describeWaitGraph();
 
   /// \name Root-future tracking for Machine::run
   /// @{
@@ -259,6 +297,7 @@ private:
 
   EngineStats Stats;
   Tracer TheTracer;
+  FaultInjector Injector;
 
   std::string ConsoleBuf;
   StringOutStream ConsoleStream{ConsoleBuf};

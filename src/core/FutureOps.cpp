@@ -70,6 +70,20 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
     return true;
   }
 
+  // Injected queue-capacity clamp: the paper's queue-overflow degradation
+  // (evaluate inline rather than overflow the task queue), forced at an
+  // artificially low capacity.
+  if (E.faults().armed() && E.faults().queueCap() &&
+      P.Queues.depth() >= *E.faults().queueCap()) {
+    E.noteFault(P, FaultKind::QueueClamp, P.Queues.depth());
+    enterThunk(T);
+    P.charge(cost::FutureInline);
+    ++E.stats().TasksInlined;
+    if (Tr.enabled())
+      Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 0, Site);
+    return true;
+  }
+
   // Inlining threshold (paper section 3): with >= T tasks already queued
   // on this processor there is no point creating another.
   if (Cfg.InlineThreshold &&

@@ -27,6 +27,10 @@ void dumpStats(OutStream &OS, const EngineStats &S) {
      << " failed)\n";
   OS << "execution: " << S.Instructions << " insns, " << S.CyclesExecuted
      << " cycles busy, " << S.IdleCycles << " idle\n";
+  if (S.FaultsInjected || S.HeapExhaustedStops || S.DeadlocksDetected)
+    OS << "robustness: " << S.FaultsInjected << " faults injected, "
+       << S.HeapExhaustedStops << " heap-exhausted stops, "
+       << S.DeadlocksDetected << " deadlocks detected\n";
   OS << strFormat("last run: %llu cycles = %.4f virtual seconds\n",
                   static_cast<unsigned long long>(S.ElapsedCycles),
                   S.elapsedSeconds());

@@ -54,6 +54,11 @@ struct EngineStats {
   uint64_t StealAttempts = 0;
   uint64_t StealsFailed = 0;
 
+  // Robustness (src/fault and the degradation paths it exercises).
+  uint64_t FaultsInjected = 0;      ///< fault-plan clauses that fired
+  uint64_t HeapExhaustedStops = 0;  ///< groups stopped on heap-exhausted
+  uint64_t DeadlocksDetected = 0;   ///< quiescent runs with root unresolved
+
   // Execution.
   uint64_t Instructions = 0;   ///< bytecode instructions executed
   uint64_t CyclesExecuted = 0; ///< virtual NS32332 instructions charged

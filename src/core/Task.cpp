@@ -36,6 +36,7 @@ void Task::initForThunk(TaskId NewId, GroupId G, Value Closure, Value Result,
   WakeValue = Value::nil();
   StopCondition.clear();
   StopPop = 0;
+  StopRestartable = false;
   UnstolenSeams = 0;
 }
 
@@ -51,5 +52,6 @@ void Task::clearForRecycle() {
   HasWakeAction = false;
   WakeValue = Value::nil();
   StopCondition.clear();
+  StopRestartable = false;
   UnstolenSeams = 0;
 }

@@ -101,6 +101,9 @@ public:
   /// Engine::resumeGroup).
   std::string StopCondition;
   uint32_t StopPop = 0;
+  /// Stopped *before* the faulting instruction executed: resume re-runs
+  /// the instruction instead of performing a wake action.
+  bool StopRestartable = false;
 
   /// Number of unstolen lazy-future seams on this task's frame stack.
   uint32_t UnstolenSeams = 0;

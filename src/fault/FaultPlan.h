@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault plans (the chaos-engineering layer).
+///
+/// A FaultPlan describes *when* the engine should misbehave, in terms of
+/// deterministic counters and virtual-time offsets, so the same plan + the
+/// same program + the same seed reproduce the same adversity bit-for-bit.
+/// The paper's engine survives real adversity (queue overflow, heap
+/// exhaustion, errors in parallel tasks) by design; the plan lets us
+/// subject the reproduction to each of those on demand and replay any
+/// failure from its spec string.
+///
+/// Spec grammar (clauses separated by ';', lists by ','):
+///
+///   seed=U64                 PRNG seed for probabilistic clauses
+///   alloc-fail=N[,N...]      fail the Nth mutator allocation (1-based,
+///                            counted after arming; a real GC then runs
+///                            and the retry succeeds)
+///   alloc-fail-every=K       additionally fail every Kth allocation
+///   gc-at=C[,C...]           force a spurious collection once the run
+///                            clock reaches C (run-start-relative;
+///                            consumed once)
+///   spawn-error=N[,N...]     raise `injected-fault` at the Nth future
+///                            spawn (group stops; resume retries)
+///   touch-error=N[,N...]     raise `injected-fault` at the Nth executed
+///                            touch instruction
+///   steal-fail=P             each steal probe fails with probability P
+///   steal-fail-at=N[,N...]   fail the Nth steal probe exactly
+///   queue-cap=Q              clamp task-queue capacity: futures inline
+///                            when the spawning processor already holds
+///                            >= Q queued tasks (the paper's
+///                            queue-overflow degradation)
+///   stall=P@B+L[,P@B+L...]   processor P goes offline for L cycles once
+///                            the run clock reaches B (run-start-relative;
+///                            models a slow or failed board on the bus)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_FAULT_FAULTPLAN_H
+#define MULT_FAULT_FAULTPLAN_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mult {
+
+/// What kind of fault an injection site fired. Recorded as payload A of
+/// every FaultInjected trace event.
+enum class FaultKind : uint8_t {
+  AllocFail,  ///< forced mutator-allocation failure
+  SpuriousGc, ///< forced collection at a virtual-time mark
+  SpawnError, ///< injected exception at a future spawn
+  TouchError, ///< injected exception at a touch instruction
+  StealFail,  ///< forced steal-probe failure
+  QueueClamp, ///< queue-capacity clamp forced an inline evaluation
+  Stall,      ///< processor offline window
+};
+
+/// Human-readable name of \p K ("alloc-fail", "stall", ...).
+const char *faultKindName(FaultKind K);
+
+/// A parsed, deterministic fault schedule.
+struct FaultPlan {
+  uint64_t Seed = 0x4d756c54;
+
+  std::vector<uint64_t> AllocFailAt; ///< sorted 1-based allocation ordinals
+  uint64_t AllocFailEvery = 0;       ///< 0 = off
+
+  std::vector<uint64_t> GcAtCycles; ///< sorted run-relative cycle marks
+
+  std::vector<uint64_t> SpawnErrorAt; ///< sorted 1-based spawn ordinals
+  std::vector<uint64_t> TouchErrorAt; ///< sorted 1-based touch ordinals
+
+  double StealFailProb = 0.0;
+  std::vector<uint64_t> StealFailAt; ///< sorted 1-based probe ordinals
+
+  std::optional<uint32_t> QueueCap;
+
+  struct StallWindow {
+    unsigned Proc = 0;
+    uint64_t Begin = 0;  ///< run-relative cycle the window opens
+    uint64_t Length = 0; ///< cycles the processor stays offline
+  };
+  std::vector<StallWindow> Stalls;
+
+  /// True when no clause can ever fire.
+  bool empty() const;
+
+  /// Canonical spec string (parse(format()) round-trips).
+  std::string format() const;
+
+  /// Parses \p Spec into \p Out. False (and \p Err set) on a malformed
+  /// spec; \p Out is unspecified then.
+  static bool parse(std::string_view Spec, FaultPlan &Out, std::string &Err);
+};
+
+} // namespace mult
+
+#endif // MULT_FAULT_FAULTPLAN_H

@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injector.
+///
+/// The injector owns a FaultPlan plus the run-time counters that decide
+/// when each clause fires. All decisions are pure functions of the plan,
+/// the plan's seed, and the order in which the engine consults the
+/// injector — which is itself deterministic in virtual time — so a fault
+/// schedule replays exactly. The injector stays disarmed during engine
+/// bootstrap (the prelude must load unmolested) and is armed right after.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_FAULT_INJECTOR_H
+#define MULT_FAULT_INJECTOR_H
+
+#include "fault/FaultPlan.h"
+#include "support/Prng.h"
+
+#include <cstdint>
+
+namespace mult {
+
+class FaultInjector {
+public:
+  FaultInjector() : Rng(FaultPlan().Seed) {}
+
+  /// Installs \p P and resets every counter. Does not arm.
+  void configure(const FaultPlan &P);
+
+  void arm() { Armed = !Plan.empty(); }
+  void disarm() { Armed = false; }
+  bool armed() const { return Armed; }
+  const FaultPlan &plan() const { return Plan; }
+
+  /// True when the current mutator allocation must fail. Marks the
+  /// failure as pending so the scheduler's heap-exhaustion heuristics
+  /// can tell an injected failure from a genuinely full heap.
+  bool shouldFailAlloc();
+
+  /// Consumes the pending-injected-allocation flag set by
+  /// shouldFailAlloc(). The machine calls this once per NeedsGc round.
+  bool consumeInjectedAllocFail();
+
+  /// If a forced collection is due at run-relative cycle \p RelClock,
+  /// consumes its mark and returns true (\p MarkOut = the mark).
+  bool takeForcedGc(uint64_t RelClock, uint64_t &MarkOut);
+
+  /// True when the current future spawn must raise an injected error.
+  bool shouldErrorSpawn();
+
+  /// True when the current touch instruction must raise an injected
+  /// error.
+  bool shouldErrorTouch();
+
+  /// True when the current steal probe must fail.
+  bool shouldFailSteal();
+
+  /// Queue-capacity clamp, if any.
+  const std::optional<uint32_t> &queueCap() const { return Plan.QueueCap; }
+
+  /// If processor \p Proc has a stall window opening at or before
+  /// run-relative cycle \p RelClock, consumes it and returns true with
+  /// \p EndRelOut = the run-relative cycle the window closes.
+  bool takeStall(unsigned Proc, uint64_t RelClock, uint64_t &EndRelOut);
+
+private:
+  FaultPlan Plan;
+  bool Armed = false;
+  Prng Rng;
+
+  uint64_t AllocN = 0;
+  uint64_t SpawnN = 0;
+  uint64_t TouchN = 0;
+  uint64_t StealN = 0;
+  size_t AllocIdx = 0; ///< next unconsumed entry of Plan.AllocFailAt
+  size_t GcIdx = 0;    ///< next unconsumed entry of Plan.GcAtCycles
+  size_t SpawnIdx = 0;
+  size_t TouchIdx = 0;
+  size_t StealIdx = 0;
+  std::vector<bool> StallDone; ///< parallel to Plan.Stalls
+  bool PendingInjectedAllocFail = false;
+};
+
+} // namespace mult
+
+#endif // MULT_FAULT_INJECTOR_H

@@ -277,6 +277,7 @@ mult::analyzeCriticalPath(const std::vector<TraceEvent> &Events,
     case TraceEventKind::StealAttempt:
     case TraceEventKind::IdleBegin:
     case TraceEventKind::IdleEnd:
+    case TraceEventKind::FaultInjected:
       break; // No effect on the DAG.
     }
   }

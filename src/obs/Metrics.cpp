@@ -38,6 +38,9 @@ MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
   R.StealsFailed = S.StealsFailed;
   R.Collections = G.Collections;
   R.GcPauseCycles = G.TotalPauseCycles;
+  R.FaultsInjected = S.FaultsInjected;
+  R.HeapExhaustedStops = S.HeapExhaustedStops;
+  R.DeadlocksDetected = S.DeadlocksDetected;
 
   // Task lifetimes from the trace: pair each finish with its creation.
   std::unordered_map<uint64_t, uint64_t> Born;
@@ -83,6 +86,12 @@ void mult::dumpMetrics(OutStream &OS, const MetricsReport &R) {
   OS << strFormat("gc: %llu collections, %llu pause cycles\n",
                   static_cast<unsigned long long>(R.Collections),
                   static_cast<unsigned long long>(R.GcPauseCycles));
+  if (R.FaultsInjected || R.HeapExhaustedStops || R.DeadlocksDetected)
+    OS << strFormat("robustness: %llu faults injected, %llu heap-exhausted "
+                    "stops, %llu deadlocks detected\n",
+                    static_cast<unsigned long long>(R.FaultsInjected),
+                    static_cast<unsigned long long>(R.HeapExhaustedStops),
+                    static_cast<unsigned long long>(R.DeadlocksDetected));
   if (R.TasksMeasured == 0) {
     OS << "task lifetimes: (enable tracing to measure)\n";
     return;

@@ -59,6 +59,12 @@ struct MetricsReport {
   uint64_t Collections = 0;
   uint64_t GcPauseCycles = 0;
 
+  // Robustness (all zero unless fault injection was armed or the run
+  // degraded; the renderer omits the section in that case).
+  uint64_t FaultsInjected = 0;
+  uint64_t HeapExhaustedStops = 0;
+  uint64_t DeadlocksDetected = 0;
+
   /// Task lifetimes (create to finish, virtual cycles) in log2 buckets:
   /// bucket i counts lifetimes in [2^i, 2^(i+1)). Populated only when the
   /// run was traced; empty (all zero) otherwise.

@@ -282,6 +282,7 @@ const char *mult::traceEventKindName(TraceEventKind K) {
   case TraceEventKind::GcEnd: return "gc-end";
   case TraceEventKind::IdleBegin: return "idle-begin";
   case TraceEventKind::IdleEnd: return "idle-end";
+  case TraceEventKind::FaultInjected: return "fault-injected";
   }
   return "unknown";
 }

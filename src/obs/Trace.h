@@ -91,6 +91,9 @@ enum class TraceEventKind : uint8_t {
   GcEnd,          ///< Collection pause ends (common resume clock).
   IdleBegin,      ///< Processor found no work.
   IdleEnd,        ///< Processor found work again.
+  FaultInjected,  ///< A fault-plan clause fired. A = FaultKind, B = detail
+                  ///< (site-specific: task queue depth, stall length, ...),
+                  ///< C = running count of injected faults.
 };
 
 /// Human-readable name of \p K ("task-create", "steal-attempt", ...).

@@ -159,7 +159,8 @@ bool Collection::stepProcessor(unsigned P) {
 bool Collection::run(std::vector<uint64_t> &ProcClocks,
                      Gc::CollectionStats &Out) {
   assert(ProcClocks.size() == Procs.size() && "clock/processor mismatch");
-  TheHeap.beginCollection();
+  if (!TheHeap.beginCollection())
+    return false; // wedged (or re-entered): cannot collect, only report
   NumSegments = Client.numRootSegments();
 
   // Step 1: rendezvous. Everybody arrives at the triggering processor's
@@ -172,8 +173,15 @@ bool Collection::run(std::vector<uint64_t> &ProcClocks,
 
   // Steps 2-3: cooperative parallel collection, least-clock-first.
   for (;;) {
-    if (Overflowed)
+    if (Overflowed) {
+      // From-space is half-evacuated and to-space is full: no coherent
+      // heap remains. Record the fact instead of asserting; the engine
+      // turns it into a structured fatal result.
+      TheHeap.markWedged(
+          "to-space overflow while copying survivors (live data exceeds a "
+          "semispace)");
       return false;
+    }
     unsigned Best = 0;
     bool Any = false;
     for (unsigned P = 0; P < Procs.size(); ++P) {

@@ -45,12 +45,20 @@ bool Heap::refillChunk(ChunkState &Chunk, int SpaceIdx, size_t &GlobalCursor) {
 Heap::AllocResult Heap::allocate(unsigned AllocatorId, uint64_t Now,
                                  TypeTag Tag, uint32_t SizeWords,
                                  uint8_t Flags) {
-  assert(!Collecting && "mutator allocation during GC");
   assert(AllocatorId < Chunks.size() && "bad allocator id");
   assert(SizeWords >= 1 && "objects carry at least one payload word");
 
   uint32_t Total = SizeWords + 1;
   AllocResult R;
+
+  // A wedged heap (to-space overflow mid-copy) can satisfy nothing, and a
+  // mutator request while a collection runs is a guest-level fault, not a
+  // host invariant: fail the allocation and let the engine surface a
+  // structured heap-exhausted result.
+  if (Collecting || Wedged) {
+    R.Cycles = heapcost::ChunkBump;
+    return R;
+  }
 
   // Large objects go straight to the global heap (paper: avoids chunk
   // fragmentation; no locality penalty on a bus-based machine).
@@ -120,12 +128,23 @@ std::pair<size_t, size_t> Heap::staticAreaSegment(unsigned I,
   return {N * I / NumSegments, N * (I + 1) / NumSegments};
 }
 
-void Heap::beginCollection() {
-  assert(!Collecting && "collection already running");
+bool Heap::beginCollection() {
+  if (Collecting || Wedged)
+    return false;
   Collecting = true;
   GcGlobalFree = 0;
   for (ChunkState &C : GcChunks)
     C = ChunkState();
+  return true;
+}
+
+void Heap::markWedged(std::string Reason) {
+  Wedged = true;
+  WedgedReason = std::move(Reason);
+  // The aborted collection never flips; drop the Collecting flag so the
+  // engine can keep reading from-space objects (they are still intact —
+  // copied objects leave forwarding pointers, not garbage).
+  Collecting = false;
 }
 
 Object *Heap::copyAllocate(unsigned AllocatorId, uint32_t TotalWords) {

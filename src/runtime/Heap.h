@@ -24,6 +24,7 @@
 #include "support/VirtualLock.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace mult {
@@ -85,8 +86,10 @@ public:
   /// \name Collector interface
   /// @{
   /// Prepares the idle semispace to receive survivors and invalidates all
-  /// mutator chunks.
-  void beginCollection();
+  /// mutator chunks. False when the heap cannot start a collection (one
+  /// is already running, or the heap is wedged); the caller must treat
+  /// this as fatal heap exhaustion, not abort.
+  bool beginCollection();
   /// Bump-allocates \p TotalWords (header included) in the to-space on
   /// behalf of collector \p AllocatorId, using GC-private chunks. Returns
   /// null on to-space overflow (fatal heap exhaustion).
@@ -100,6 +103,14 @@ public:
   /// True if \p O lies in the to-space of the running collection (i.e. it
   /// has already been copied; roots reached twice must be left alone).
   bool inToSpace(const Object *O) const;
+
+  /// Declares the heap unusable (to-space overflow mid-copy: from-space
+  /// is half-evacuated, so neither space is coherent). Every subsequent
+  /// allocate() fails and beginCollection() refuses; the engine reports a
+  /// structured HeapExhausted result instead of the host aborting.
+  void markWedged(std::string Reason);
+  bool wedged() const { return Wedged; }
+  const std::string &wedgedReason() const { return WedgedReason; }
   /// @}
 
   /// \name Introspection
@@ -137,6 +148,8 @@ private:
   size_t GlobalFree = 0;   ///< Bump cursor in the active space.
   size_t GcGlobalFree = 0; ///< Bump cursor in the to-space during GC.
   bool Collecting = false;
+  bool Wedged = false;
+  std::string WedgedReason;
   VirtualLock GlobalLock;
   std::vector<ChunkState> Chunks;   ///< Mutator chunks, one per allocator.
   std::vector<ChunkState> GcChunks; ///< Collector chunks, one per allocator.

@@ -9,6 +9,7 @@
 
 #include "core/Engine.h"
 #include "sched/Scheduler.h"
+#include "support/StrUtil.h"
 #include "vm/CostModel.h"
 #include "vm/Interpreter.h"
 
@@ -78,6 +79,20 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
   TaskId SameSpotTask = InvalidTask;
   uint32_t SameSpotPc = 0;
   unsigned SameSpotGcs = 0;
+
+  auto SnapshotHeap = [&E]() {
+    HeapFacts F;
+    F.UsedWords = E.heap().usedWords();
+    F.CapacityWords = E.heap().capacityWords();
+    F.Collections = E.gcStats().Collections;
+    F.CollectorWedged = E.heap().wedged();
+    return F;
+  };
+  auto RootStopped = [&E]() {
+    return E.lastStoppedGroup() == E.rootGroup() &&
+           E.group(E.rootGroup()).State == GroupState::Stopped;
+  };
+
   for (;;) {
     if (E.rootResolved()) {
       R.Status = RunStatus::Completed;
@@ -94,6 +109,36 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
       R.ElapsedCycles = P.Clock - Start;
       E.stats().ElapsedCycles = R.ElapsedCycles;
       return R;
+    }
+
+    if (E.faults().armed()) {
+      // Processor stall window: the board drops off the bus for a while.
+      // The skipped cycles are idle time, so the clock still tiles.
+      uint64_t StallEndRel;
+      if (E.faults().takeStall(P.Id, P.Clock - Start, StallEndRel)) {
+        uint64_t Jump = Start + StallEndRel - P.Clock;
+        E.noteFault(P, FaultKind::Stall, Jump);
+        P.Clock += Jump;
+        P.IdleCycles += Jump;
+        E.stats().IdleCycles += Jump;
+        continue;
+      }
+      // Forced spurious collection at a virtual-time mark.
+      uint64_t GcMark;
+      if (E.faults().takeForcedGc(P.Clock - Start, GcMark)) {
+        E.noteFault(P, FaultKind::SpuriousGc, GcMark);
+        if (!E.collectGarbage()) {
+          R.Status = RunStatus::HeapExhausted;
+          R.Error = "heap exhausted: " + (E.heap().wedged()
+                                              ? E.heap().wedgedReason()
+                                              : "cannot start a collection");
+          R.ElapsedCycles = P.Clock - Start;
+          E.stats().ElapsedCycles = R.ElapsedCycles;
+          R.Heap = SnapshotHeap();
+          return R;
+        }
+        continue;
+      }
     }
 
     if (P.Current != InvalidTask) {
@@ -122,6 +167,28 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
         continue;
       }
 
+      // Cycle-budget watchdog: unlike MaxRunCycles (which abandons the
+      // whole run), exceeding MaxCycles stops the runaway group so the
+      // breakloop can inspect, kill, or resume it with a fresh budget.
+      if (P.Clock - Start > E.config().MaxCycles) {
+        E.stopGroupRestartable(
+            P, T,
+            strFormat("cycle-budget-exhausted: group %u exceeded %llu "
+                      "virtual cycles",
+                      T.Group,
+                      static_cast<unsigned long long>(E.config().MaxCycles)));
+        P.Current = InvalidTask;
+        if (RootStopped()) {
+          R.Status = RunStatus::GroupStopped;
+          R.StoppedGroup = E.rootGroup();
+          R.Error = E.group(E.rootGroup()).Condition;
+          R.ElapsedCycles = P.Clock - Start;
+          E.stats().ElapsedCycles = R.ElapsedCycles;
+          return R;
+        }
+        continue;
+      }
+
       switch (interpretTask(E, P, T, P.Clock + Quantum)) {
       case StepOutcome::TimeSlice:
         FruitlessGcs = 0;
@@ -131,8 +198,7 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
       case StepOutcome::TaskDone:
       case StepOutcome::GroupStopped:
         P.Current = InvalidTask;
-        if (E.lastStoppedGroup() == E.rootGroup() &&
-            E.group(E.rootGroup()).State == GroupState::Stopped) {
+        if (RootStopped()) {
           R.Status = RunStatus::GroupStopped;
           R.StoppedGroup = E.rootGroup();
           R.Error = E.group(E.rootGroup()).Condition;
@@ -142,33 +208,69 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
         }
         break;
       case StepOutcome::NeedsGc: {
-        if (T.Id == SameSpotTask && T.Pc == SameSpotPc) {
-          if (++SameSpotGcs >= 8) {
-            R.Status = RunStatus::HeapExhausted;
-            R.Error = "heap exhausted: a single operation allocates more "
-                      "than the collected heap can hold";
-            return R;
+        // Heap exhaustion degrades gracefully: the task's group stops
+        // with a heap-exhausted condition (breakloop-inspectable and
+        // killable) instead of abandoning the run. The instruction never
+        // executed, so the stop is restartable.
+        auto StopHeapExhausted = [&](const char *Condition) -> bool {
+          ++E.stats().HeapExhaustedStops;
+          E.stopGroupRestartable(P, T, Condition);
+          P.Current = InvalidTask;
+          SameSpotTask = InvalidTask;
+          FruitlessGcs = 0;
+          if (RootStopped()) {
+            R.Status = RunStatus::GroupStopped;
+            R.StoppedGroup = E.rootGroup();
+            R.Error = E.group(E.rootGroup()).Condition;
+            R.ElapsedCycles = P.Clock - Start;
+            E.stats().ElapsedCycles = R.ElapsedCycles;
+            R.Heap = SnapshotHeap();
+            return true;
           }
-        } else {
-          SameSpotTask = T.Id;
-          SameSpotPc = T.Pc;
-          SameSpotGcs = 1;
+          return false;
+        };
+        // An injected allocation failure is not evidence of a full heap;
+        // run the collection but keep the exhaustion heuristics quiet.
+        bool Injected =
+            E.faults().armed() && E.faults().consumeInjectedAllocFail();
+        if (!Injected) {
+          if (T.Id == SameSpotTask && T.Pc == SameSpotPc) {
+            if (++SameSpotGcs >= 8) {
+              if (StopHeapExhausted(
+                      "heap-exhausted: a single operation allocates more "
+                      "than the collected heap can hold"))
+                return R;
+              break;
+            }
+          } else {
+            SameSpotTask = T.Id;
+            SameSpotPc = T.Pc;
+            SameSpotGcs = 1;
+          }
         }
         size_t UsedBefore = E.heap().usedWords();
         if (!E.collectGarbage()) {
+          // Nothing recoverable remains (to-space overflow wedges the
+          // heap mid-copy): report a structured fatal result.
           R.Status = RunStatus::HeapExhausted;
-          R.Error = "heap exhausted: semispace too small for live data";
+          R.Error = "heap exhausted: " +
+                    (E.heap().wedged() ? E.heap().wedgedReason()
+                                       : "semispace too small for live data");
+          R.ElapsedCycles = P.Clock - Start;
+          E.stats().ElapsedCycles = R.ElapsedCycles;
+          R.Heap = SnapshotHeap();
           return R;
         }
         // A collection that frees (almost) nothing cannot unblock the
-        // failing allocation; give up instead of thrashing.
-        if (E.heap().usedWords() + 64 >= UsedBefore) {
+        // failing allocation; stop the group instead of thrashing.
+        if (!Injected && E.heap().usedWords() + 64 >= UsedBefore) {
           if (++FruitlessGcs >= 2) {
-            R.Status = RunStatus::HeapExhausted;
-            R.Error = "heap exhausted: collection reclaimed no space";
-            return R;
+            if (StopHeapExhausted(
+                    "heap-exhausted: collection reclaimed no space"))
+              return R;
+            break;
           }
-        } else {
+        } else if (!Injected) {
           FruitlessGcs = 0;
         }
         break;
@@ -198,9 +300,13 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
     if (quiescent(E)) {
       // Nothing runnable anywhere. If the root is unresolved, the
       // computation deadlocked (e.g. the paper's semaphore example under
-      // inlining).
+      // inlining). Reconstruct the task -> future wait-for graph so the
+      // report names the cycle, not just the symptom.
+      ++E.stats().DeadlocksDetected;
       R.Status = RunStatus::Deadlock;
       R.Error = "deadlock: all processors idle, root future unresolved";
+      if (std::string Graph = E.describeWaitGraph(); !Graph.empty())
+        R.Error += "\n" + Graph;
       R.ElapsedCycles = P.Clock - Start;
       E.stats().ElapsedCycles = R.ElapsedCycles;
       return R;

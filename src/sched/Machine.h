@@ -69,12 +69,23 @@ enum class RunStatus : uint8_t {
   CycleLimit,   ///< Config.MaxRunCycles exceeded.
 };
 
+/// Snapshot of heap occupancy taken when a run ends on a heap condition,
+/// so callers (and the breakloop user) can see *why* without poking the
+/// engine.
+struct HeapFacts {
+  size_t UsedWords = 0;
+  size_t CapacityWords = 0; ///< semispace size
+  uint64_t Collections = 0;
+  bool CollectorWedged = false; ///< to-space overflow left the heap unusable
+};
+
 struct RunResult {
   RunStatus Status = RunStatus::Completed;
   Value Result = Value::unspecified();
   GroupId StoppedGroup = InvalidGroup;
   std::string Error;
   uint64_t ElapsedCycles = 0;
+  HeapFacts Heap; ///< meaningful for HeapExhausted (and heap-caused stops)
 };
 
 /// The machine.

@@ -111,6 +111,19 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
   // success. Every probe ends in exactly one of Steals (Accept took it)
   // or StealsFailed (queue empty, or the popped task was parked/dropped).
   auto StealFrom = [&](Processor &Victim, bool FromNewQueue) -> TaskId {
+    // Injected probe failure: the probe happens (lock acquired, queue
+    // looked at) but comes back empty-handed, preserving the
+    // Steals + StealsFailed == StealAttempts identity.
+    if (E.faults().armed() && E.faults().shouldFailSteal()) {
+      ++S.StealAttempts;
+      ++S.StealsFailed;
+      Cycles += cost::QueueLockHold;
+      E.noteFault(P, FaultKind::StealFail, Victim.Id);
+      if (Tr.enabled())
+        Tr.record(TraceEventKind::StealAttempt, P.Id, P.Clock + Cycles,
+                  Victim.Id, 0);
+      return InvalidTask;
+    }
     for (;;) {
       ++S.StealAttempts;
       TaskId Id =

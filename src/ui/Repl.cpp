@@ -72,6 +72,8 @@ bool Repl::processLine(std::string_view Line) {
       cmdTrace(Arg);
     else if (Cmd == "profile")
       cmdProfile();
+    else if (Cmd == "faults")
+      cmdFaults(Arg);
     else if (Cmd == "exit" || Cmd == "quit")
       return false;
     else
@@ -90,7 +92,11 @@ void Repl::evalAndPrint(std::string_view Src) {
     printValue(Out, R.Val);
     Out << '\n';
     return;
-  case EvalResult::Kind::RuntimeError: {
+  case EvalResult::Kind::RuntimeError:
+  case EvalResult::Kind::HeapExhausted: {
+    // A heap-exhausted stop lands in the breakloop like any other
+    // exception (the group is inspectable and killable); a wedged-heap
+    // exhaustion has no stopped group and reports like a plain error.
     Out << ";; exception: " << R.Error << '\n';
     if (Group *G = E.findGroup(R.StoppedGroup)) {
       Out << ";; group " << G->Id << " stopped (" << G->Banner << ")\n";
@@ -124,6 +130,9 @@ void Repl::cmdHelp() {
          "                   (benches do this per run into $MULT_TRACE_DIR)\n"
          "  :profile         critical-path profile of the last traced run\n"
          "                   (work, span, parallelism, per-future-site)\n"
+         "  :faults [SPEC]   show, arm (SPEC, see DESIGN.md or\n"
+         "                   MULT_FAULTS), or disarm (:faults off) the\n"
+         "                   deterministic fault injector\n"
          "  :exit            leave the REPL\n"
          "anything else evaluates as a Mul-T expression (its own group)\n";
 }
@@ -228,6 +237,31 @@ void Repl::cmdProfile() {
   CriticalPathReport R = analyzeCriticalPath(E.tracer());
   dumpProfile(Out, R, E.machine().numProcessors(),
               E.stats().ElapsedCycles);
+}
+
+void Repl::cmdFaults(std::string_view Arg) {
+  if (Arg.empty()) {
+    const FaultInjector &FI = E.faults();
+    if (!FI.armed()) {
+      Out << ";; fault injection off\n";
+      return;
+    }
+    Out << ";; fault plan: " << FI.plan().format() << '\n';
+    Out << ";; " << E.stats().FaultsInjected << " faults injected so far\n";
+    return;
+  }
+  if (Arg == "off") {
+    std::string Err;
+    E.configureFaults("", Err);
+    Out << ";; fault injection off\n";
+    return;
+  }
+  std::string Err;
+  if (!E.configureFaults(Arg, Err)) {
+    Out << ";; bad fault plan: " << Err << '\n';
+    return;
+  }
+  Out << ";; fault plan armed: " << E.faults().plan().format() << '\n';
 }
 
 void Repl::cmdTrace(std::string_view Arg) {

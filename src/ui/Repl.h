@@ -47,6 +47,7 @@ private:
   void cmdStats();
   void cmdTrace(std::string_view Arg);
   void cmdProfile();
+  void cmdFaults(std::string_view Arg);
 
   Engine &E;
   OutStream &Out;

@@ -66,10 +66,32 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
     return StepOutcome::GroupStopped;
   };
 
-  // Touch the value at \p Slot in place. Returns Ok(0), Blocked(1) or
-  // NeedsGc(2).
+  // A touch of a future whose owning group was killed can never resolve;
+  // stop the toucher's group (restartable: resume re-raises, kill kills)
+  // instead of silently deadlocking. True if the group was stopped.
+  auto KilledOwnerStop = [&](Object *Fut) -> bool {
+    if (!Fut->slot(Object::FutGroupId).isFixnum())
+      return false;
+    auto OwnerGid =
+        static_cast<GroupId>(Fut->slot(Object::FutGroupId).asFixnum());
+    Group *Owner = E.findGroup(OwnerGid);
+    if (!Owner || Owner->State != GroupState::Killed)
+      return false;
+    E.stopGroupRestartable(
+        P, T, strFormat("touch of a future belonging to killed group %u",
+                        OwnerGid));
+    return true;
+  };
+
+  // Touch the value at \p Slot in place. Returns Ok(0), Blocked(1),
+  // NeedsGc(2) or GroupStopped(3).
   auto TouchSlot = [&](Value &Slot) -> int {
     ++S.TouchesExecuted;
+    if (E.faults().armed() && E.faults().shouldErrorTouch()) {
+      E.noteFault(P, FaultKind::TouchError);
+      E.stopGroupRestartable(P, T, "injected-fault: touch error");
+      return 3;
+    }
     if (!Slot.isFuture())
       return 0;
     Object *Touched = Slot.pointee();
@@ -93,6 +115,8 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
       return 0;
     }
     P.charge(Chase);
+    if (KilledOwnerStop(Unresolved))
+      return 3;
     if (E.tracer().enabled())
       E.tracer().record(TraceEventKind::TouchBlock, P.Id, P.Clock, T.Id);
     if (!futureops::blockOnFuture(E, P, T, Unresolved))
@@ -319,6 +343,8 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
         return StepOutcome::Blocked;
       if (R == 2)
         return StepOutcome::NeedsGc;
+      if (R == 3)
+        return StepOutcome::GroupStopped;
       ++T.Pc;
       break;
     }
@@ -329,6 +355,8 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
         return StepOutcome::Blocked;
       if (R == 2)
         return StepOutcome::NeedsGc;
+      if (R == 3)
+        return StepOutcome::GroupStopped;
       Stack.push_back(Slot);
       ++T.Pc;
       break;
@@ -340,6 +368,8 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
         return StepOutcome::Blocked;
       if (R == 2)
         return StepOutcome::NeedsGc;
+      if (R == 3)
+        return StepOutcome::GroupStopped;
       // Write the resolved value back to the variable's frame slot, so
       // the optimizer's once-touched facts stay true.
       Stack[Base + static_cast<uint32_t>(I.B)] = Slot;
@@ -351,6 +381,11 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
       // Step 1 of Table 1: the thunk was made by the preceding Closure
       // instruction; *future dispatch is this op's base cost.
       S.Steps.MakeThunkCycles += opBaseCost(Op::FutureOp) + cost::ClosureBase;
+      if (E.faults().armed() && E.faults().shouldErrorSpawn()) {
+        E.noteFault(P, FaultKind::SpawnError);
+        E.stopGroupRestartable(P, T, "injected-fault: future spawn error");
+        return StepOutcome::GroupStopped;
+      }
       if (!futureops::onFutureOp(E, P, T))
         return StepOutcome::NeedsGc;
       break; // Pc already advanced / frame entered
@@ -586,6 +621,8 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
         break;
       case PrimResult::Status::BlockedFuture: {
         assert(R.V.isFuture());
+        if (KilledOwnerStop(R.V.pointee()))
+          return StepOutcome::GroupStopped;
         if (!futureops::blockOnFuture(E, P, T, R.V.pointee()))
           return StepOutcome::NeedsGc;
         return StepOutcome::Blocked;
@@ -647,6 +684,8 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
         break;
       case PrimResult::Status::BlockedFuture:
         assert(R.V.isFuture());
+        if (KilledOwnerStop(R.V.pointee()))
+          return StepOutcome::GroupStopped;
         if (!futureops::blockOnFuture(E, P, T, R.V.pointee()))
           return StepOutcome::NeedsGc;
         return StepOutcome::Blocked;

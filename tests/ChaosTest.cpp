@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaos harness: sweep parallel programs across fault plans and seeds,
+/// asserting the engine's robustness invariants under every combination:
+///
+///  - determinism: the same seed and plan reproduce the same run
+///    bit-for-bit (same outcome, same cycle counts, same fault count);
+///  - accounting: busy + idle + GC cycles tile every processor clock, and
+///    recorded() + dropped() == emitted() for the tracer;
+///  - observability: every injected fault is a FaultInjected trace event;
+///  - degradation: injected errors land in the breakloop (resumable or
+///    killable), and the engine stays usable afterwards — the host
+///    process never crashes.
+///
+/// The seed matrix shifts with MULT_CHAOS_SEED_BASE (the CI chaos job
+/// runs several bases); failing combinations are appended to
+/// $MULT_CHAOS_ARTIFACT_DIR/failing_plans.txt so any failure can be
+/// replayed from its spec string.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "fault/FaultPlan.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+
+using namespace mult;
+using namespace mult::testutil;
+
+namespace {
+
+const char *const Programs[] = {
+    // Fine-grained future fan-out (the paper's fib benchmark shape).
+    R"lisp(
+      (define (fib n)
+        (if (< n 2) n
+            (+ (touch (future (fib (- n 1)))) (fib (- n 2)))))
+      (fib 13)
+    )lisp",
+    // Allocation-heavy list building with one coarse future.
+    R"lisp(
+      (define (build n) (if (= n 0) '() (cons n (build (- n 1)))))
+      (define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))
+      (+ (touch (future (sum (build 300)))) (sum (build 300)))
+    )lisp",
+};
+
+/// Fault plans; %SEED% is substituted per sweep point.
+const char *const PlanTemplates[] = {
+    "seed=%SEED%; alloc-fail-every=23; gc-at=2000",
+    "seed=%SEED%; steal-fail=0.4",
+    "seed=%SEED%; queue-cap=2; stall=1@500+3000",
+    "seed=%SEED%; spawn-error=2; touch-error=5",
+};
+
+std::string planFor(const char *Template, uint64_t Seed) {
+  std::string S(Template);
+  size_t Pos = S.find("%SEED%");
+  S.replace(Pos, 6, std::to_string(Seed));
+  return S;
+}
+
+uint64_t seedBase() {
+  if (const char *Env = std::getenv("MULT_CHAOS_SEED_BASE"))
+    return std::strtoull(Env, nullptr, 10);
+  return 1;
+}
+
+/// Runs one sweep point: eval the program, resume through injected-fault
+/// breakloops, kill anything still stopped, and check every invariant.
+/// Returns a transcript string that must be identical across reruns.
+std::string runOnce(const char *Program, const std::string &Plan) {
+  EngineConfig C = config(4);
+  C.HeapWords = 1 << 16; // small enough that real collections interleave
+  C.EnableTracing = true;
+  C.Faults = Plan;
+  Engine E(C);
+
+  std::string Transcript;
+  EvalResult R = E.eval(Program);
+  for (int Resumes = 0; Resumes < 5; ++Resumes) {
+    Transcript += strFormat("kind=%d error=[%s] value=%s\n",
+                            static_cast<int>(R.K), R.Error.c_str(),
+                            R.ok() ? valueToString(R.Val).c_str() : "-");
+    if (R.K != EvalResult::Kind::RuntimeError ||
+        R.Error.find("injected-fault") == std::string::npos)
+      break;
+    // Injected faults are restartable: resume must make progress.
+    R = E.resumeGroup(R.StoppedGroup, Value::falseV());
+  }
+
+  // Invariant: group states are coherent. Every stopped group is on the
+  // breakloop stack; nothing is in an impossible state.
+  std::vector<GroupId> Stopped = E.stoppedGroups();
+  for (const Group &G : E.allGroups()) {
+    if (G.State == GroupState::Stopped && !G.Internal)
+      EXPECT_NE(std::find(Stopped.begin(), Stopped.end(), G.Id),
+                Stopped.end())
+          << "stopped group " << G.Id << " missing from the breakloop stack";
+  }
+  // Kill whatever is still stopped; the engine must stay usable.
+  for (GroupId Id : Stopped)
+    E.killGroup(Id);
+  EXPECT_EQ(evalFixnum(E, "(+ 40 2)"), 42)
+      << "engine unusable after the chaos run";
+
+  // Invariant: busy + idle + GC cycles tile every processor clock.
+  for (unsigned I = 0; I < 4; ++I) {
+    const Processor &P = E.machine().processor(I);
+    EXPECT_EQ(P.ClockAtReset + P.BusyCycles + P.IdleCycles + P.GcCycles,
+              P.Clock)
+        << "cycle accounting leak on processor " << I;
+  }
+
+  // Invariant: trace bookkeeping balances, and every injected fault was
+  // recorded (the unbounded sink drops nothing).
+  const Tracer &Tr = E.tracer();
+  EXPECT_EQ(Tr.recorded() + Tr.dropped(), Tr.emitted());
+  uint64_t FaultEvents = 0;
+  for (const TraceEvent &Ev : Tr.events())
+    if (Ev.Kind == TraceEventKind::FaultInjected)
+      ++FaultEvents;
+  EXPECT_EQ(FaultEvents, E.stats().FaultsInjected)
+      << "every injected fault must be a FaultInjected trace event";
+
+  // Invariant: steal probes partition into successes and failures.
+  const EngineStats &S = E.stats();
+  EXPECT_EQ(S.Steals + S.StealsFailed, S.StealAttempts);
+
+  Transcript += strFormat(
+      "elapsed=%llu faults=%llu steals=%llu/%llu collections=%llu "
+      "heapstops=%llu\n",
+      static_cast<unsigned long long>(S.ElapsedCycles),
+      static_cast<unsigned long long>(S.FaultsInjected),
+      static_cast<unsigned long long>(S.Steals),
+      static_cast<unsigned long long>(S.StealAttempts),
+      static_cast<unsigned long long>(E.gcStats().Collections),
+      static_cast<unsigned long long>(S.HeapExhaustedStops));
+  return Transcript;
+}
+
+void noteFailure(size_t ProgIdx, const std::string &Plan) {
+  const char *Dir = std::getenv("MULT_CHAOS_ARTIFACT_DIR");
+  if (!Dir)
+    return;
+  std::ofstream Out(std::string(Dir) + "/failing_plans.txt",
+                    std::ios::app);
+  Out << "program=" << ProgIdx << " MULT_FAULTS=\"" << Plan << "\"\n";
+}
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, SweepIsDeterministicAndInvariantPreserving) {
+  uint64_t Seed = GetParam();
+  for (size_t Pi = 0; Pi < std::size(Programs); ++Pi) {
+    for (const char *Template : PlanTemplates) {
+      std::string Plan = planFor(Template, Seed);
+      SCOPED_TRACE("program " + std::to_string(Pi) + " plan `" + Plan + "`");
+      std::string First = runOnce(Programs[Pi], Plan);
+      std::string Second = runOnce(Programs[Pi], Plan);
+      EXPECT_EQ(First, Second)
+          << "same seed and plan must reproduce the same run exactly";
+      if (::testing::Test::HasFailure()) {
+        noteFailure(Pi, Plan);
+        return; // one replayable failure beats a wall of them
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(seedBase(), seedBase() + 1,
+                                           seedBase() + 2));
+
+/// A pathological plan mixing everything at once: the engine must degrade
+/// gracefully, not crash, even when faults overlap.
+TEST(ChaosTest, KitchenSinkPlanNeverCrashesTheHost) {
+  std::string Plan =
+      "seed=99; alloc-fail-every=11; gc-at=100,1000,5000; steal-fail=0.8;"
+      " queue-cap=1; spawn-error=1,3; touch-error=2,7;"
+      " stall=0@50+500,2@1000+2000,3@1+1";
+  for (const char *Program : Programs) {
+    SCOPED_TRACE(Program);
+    runOnce(Program, Plan);
+  }
+}
+
+} // namespace

@@ -124,6 +124,53 @@ TEST(GroupsTest, KillDiscardsTheComputation) {
   EXPECT_EQ(evalFixnum(E, "(+ 1 2)"), 3);
 }
 
+TEST(GroupsTest, KillWhileParkedLeaksNoTasks) {
+  // Stop a group that has parked siblings (popped from a queue while the
+  // group was stopped), then kill it: every member task must be retired,
+  // not leaked in the Parked list.
+  Engine E(config(2));
+  EvalResult R = E.eval(R"lisp(
+    (define spin-cell (cons 0 '()))
+    (begin
+      (define s1 (future (let loop ()
+                           (set-car! spin-cell (+ (car spin-cell) 1))
+                           (loop))))
+      (define s2 (future (let loop ()
+                           (set-car! spin-cell (+ (car spin-cell) 1))
+                           (loop))))
+      (let wait ()
+        (if (< (car spin-cell) 10) (wait) (car 'boom))))
+  )lisp");
+  ASSERT_FALSE(R.ok());
+  Group *G = E.findGroup(R.StoppedGroup);
+  ASSERT_NE(G, nullptr);
+  ASSERT_EQ(G->State, GroupState::Stopped);
+  E.killGroup(R.StoppedGroup);
+  EXPECT_TRUE(G->Parked.empty()) << "kill must clear the parked list";
+  for (TaskId T : G->Members)
+    EXPECT_EQ(E.liveTask(T), nullptr)
+        << "task " << taskIndex(T) << " survived the kill";
+  EXPECT_EQ(evalFixnum(E, "(+ 1 2)"), 3);
+}
+
+TEST(GroupsTest, TouchOfAKilledGroupsFutureStops) {
+  // A future whose owner group was killed can never resolve; touching it
+  // from another group must stop the toucher with a clear condition
+  // instead of deadlocking the machine.
+  Engine E(config(2));
+  evalOk(E, "(define f #f)");
+  EvalResult R = E.eval("(begin (set! f (future (car 5))) (touch f))");
+  ASSERT_FALSE(R.ok());
+  E.killGroup(R.StoppedGroup);
+  EvalResult Again = E.eval("(touch f)");
+  ASSERT_EQ(static_cast<int>(Again.K),
+            static_cast<int>(EvalResult::Kind::RuntimeError));
+  EXPECT_NE(Again.Error.find("killed group"), std::string::npos)
+      << Again.Error;
+  E.killGroup(Again.StoppedGroup);
+  EXPECT_EQ(evalFixnum(E, "(+ 2 3)"), 5);
+}
+
 TEST(GroupsTest, BacktraceNamesTheFrames) {
   Engine E(config(1));
   EvalResult R = E.eval(R"lisp(

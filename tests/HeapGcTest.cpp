@@ -213,6 +213,78 @@ TEST(GcTest, MonolithicOverAllocationIsDetected) {
   EXPECT_NE(R.Error.find("single operation"), std::string::npos) << R.Error;
 }
 
+TEST(HeapTest, WedgedHeapRefusesAllocationAndCollection) {
+  // The degradation contract: a wedged heap (to-space overflow mid-copy)
+  // fails every allocation and refuses to start another collection, so
+  // the engine can report a structured result instead of the host
+  // asserting.
+  Heap H(smallHeap());
+  ASSERT_NE(H.allocate(0, 0, TypeTag::Pair, 2).Obj, nullptr);
+  H.markWedged("test wedge");
+  EXPECT_TRUE(H.wedged());
+  EXPECT_EQ(H.wedgedReason(), "test wedge");
+  EXPECT_EQ(H.allocate(0, 0, TypeTag::Pair, 2).Obj, nullptr);
+  EXPECT_FALSE(H.beginCollection());
+}
+
+TEST(GcTest, RootFutureAllocationFailureIsStructured) {
+  // A heap too small for even the root future: eval degrades to a
+  // HeapExhausted result, not a crash (the prelude is skipped so nothing
+  // needs the collectable heap before the root future).
+  EngineConfig C = config(1);
+  C.LoadPrelude = false;
+  C.HeapWords = 4;
+  C.ChunkWords = 4;
+  C.LargeObjectWords = 4;
+  Engine E(C);
+  EvalResult R = E.eval("(+ 1 2)");
+  EXPECT_EQ(static_cast<int>(R.K),
+            static_cast<int>(EvalResult::Kind::HeapExhausted));
+  EXPECT_NE(R.Error.find("root future"), std::string::npos) << R.Error;
+}
+
+TEST(GcTest, RootClosureAllocationFailureIsStructured) {
+  // Seven words fit the 6-word root future but not the 2-word closure
+  // after it, even after the rescue collection.
+  EngineConfig C = config(1);
+  C.LoadPrelude = false;
+  C.HeapWords = 7;
+  C.ChunkWords = 7;
+  C.LargeObjectWords = 4;
+  Engine E(C);
+  EvalResult R = E.eval("(+ 1 2)");
+  EXPECT_EQ(static_cast<int>(R.K),
+            static_cast<int>(EvalResult::Kind::HeapExhausted));
+  EXPECT_NE(R.Error.find("root closure"), std::string::npos) << R.Error;
+}
+
+TEST(GcTest, HeapExhaustionLandsInTheBreakloop) {
+  // Exhaustion inside a task stops its group: inspectable, killable, and
+  // the result carries heap facts for the report.
+  EngineConfig C = config(1);
+  C.HeapWords = 1 << 12;
+  C.ChunkWords = 256; // keep chunks refillable after the rescue GC
+  C.LargeObjectWords = 256; // must fit a chunk
+  Engine E(C);
+  EvalResult R = E.eval(
+      "(define (build n) (if (= n 0) '() (cons n (build (- n 1)))))"
+      "(define keep (build 5000))");
+  ASSERT_EQ(static_cast<int>(R.K),
+            static_cast<int>(EvalResult::Kind::HeapExhausted));
+  EXPECT_NE(R.Error.find("heap-exhausted"), std::string::npos) << R.Error;
+  Group *G = E.findGroup(R.StoppedGroup);
+  ASSERT_NE(G, nullptr) << "exhaustion in a task must stop the group";
+  EXPECT_EQ(G->State, GroupState::Stopped);
+  EXPECT_EQ(R.Heap.CapacityWords, size_t(1) << 12);
+  EXPECT_GT(R.Heap.UsedWords, 0u);
+  EXPECT_FALSE(R.Heap.CollectorWedged);
+  EXPECT_GE(E.stats().HeapExhaustedStops, 1u);
+  // The backtrace works, the group can be killed, the engine survives.
+  EXPECT_FALSE(E.backtrace(G->CurrentTask).empty());
+  E.killGroup(R.StoppedGroup);
+  EXPECT_EQ(evalFixnum(E, "(+ 40 2)"), 42);
+}
+
 TEST(GcTest, PauseTimeShrinksWithMoreProcessors) {
   // The motivation for parallelizing the collector: shorter pauses.
   // Live data must hang off many roots to parallelize: the collector

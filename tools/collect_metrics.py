@@ -6,9 +6,15 @@ machine-readable line per measured engine run:
 
     ;; virtual-cycles: <tag> <cycles>
 
+and, when the deterministic fault injector is armed (--faults SPEC), one
+robustness counter line per run:
+
+    ;; fault-metrics: <tag> <name> <count>
+
 Virtual cycles are deterministic (the engine simulates its processors in
 virtual time), so any drift between commits is a real semantic or
-cost-model change, never host noise. This script:
+cost-model change, never host noise. The same holds under an armed fault
+plan: fault counts and cycles are seed-deterministic. This script:
 
   * runs the four paper-table benches and collects the tag -> cycles map,
   * writes it to <out-dir>/BENCH_<sha>.json for the current commit,
@@ -45,6 +51,7 @@ BENCHES = [
 ]
 
 METRIC_LINE = re.compile(r"^;; virtual-cycles: (\S+) (\d+)\s*$")
+FAULT_LINE = re.compile(r"^;; fault-metrics: (\S+) (\S+) (\d+)\s*$")
 
 
 def fail(msg):
@@ -62,14 +69,22 @@ def current_commit():
         return "worktree"
 
 
-def run_benches(build_dir):
-    """Run every bench with MULT_METRICS=1 and return {tag: cycles}."""
+def run_benches(build_dir, faults=None):
+    """Run every bench with MULT_METRICS=1 and return {tag: cycles}.
+
+    With faults set, every bench runs under that MULT_FAULTS plan and the
+    ";; fault-metrics:" counters join the map as "<tag>#<name>" keys.
+    """
     env = dict(os.environ, MULT_METRICS="1")
     # Tracing changes nothing about virtual time, but keep runs minimal
-    # and independent of the caller's environment.
+    # and independent of the caller's environment. MULT_FAULTS *does*
+    # change virtual time, so it is stripped unless --faults asks for it:
+    # the default dashboard must measure the unmolested engine.
     for var in ("MULT_TRACE", "MULT_PROFILE", "MULT_TRACE_MODE",
-                "MULT_TRACE_DIR"):
+                "MULT_TRACE_DIR", "MULT_FAULTS"):
         env.pop(var, None)
+    if faults:
+        env["MULT_FAULTS"] = faults
     cycles = {}
     for bench in BENCHES:
         exe = os.path.join(build_dir, "bench", bench)
@@ -84,6 +99,10 @@ def run_benches(build_dir):
         for line in proc.stdout.splitlines():
             m = METRIC_LINE.match(line)
             if not m:
+                f = FAULT_LINE.match(line)
+                if f:
+                    key = f"{f.group(1)}#{f.group(2)}"
+                    cycles[key] = int(f.group(3))
                 continue
             tag, value = m.group(1), int(m.group(2))
             # Some benches legitimately re-run a configuration (table 2
@@ -196,6 +215,11 @@ def main():
     ap.add_argument("--render", choices=["markdown", "csv"], default=None,
                     help="render the BENCH_*.json history and exit "
                          "(does not run benches)")
+    ap.add_argument("--faults", metavar="SPEC", default=None,
+                    help="run every bench under this MULT_FAULTS plan and "
+                         "collect ';; fault-metrics:' counters as "
+                         "'<tag>#<name>' keys (do not --check fault runs "
+                         "against the faultless golden file)")
     args = ap.parse_args()
 
     if args.render:
@@ -203,8 +227,12 @@ def main():
         return
 
     commit = args.commit or current_commit()
+    if args.faults and not args.commit:
+        commit += "+faults"  # keep fault runs apart in the history
     print(f"collecting virtual-time metrics for {commit}")
-    cycles = run_benches(args.build_dir)
+    if args.faults:
+        print(f"  fault plan: {args.faults}")
+    cycles = run_benches(args.build_dir, faults=args.faults)
     print(f"  {len(cycles)} metrics collected")
 
     os.makedirs(args.out_dir, exist_ok=True)
