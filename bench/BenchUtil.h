@@ -46,12 +46,21 @@ using namespace mult;
 ///                      MULT_METRICS also set, one machine-parseable
 ///                      ";; fault-metrics: <tag> <name> <n>" line is
 ///                      printed per robustness counter per run.
+///   MULT_ADAPTIVE_T=1  switch every run from the static inlining
+///                      threshold to the per-processor adaptive
+///                      controller (sched/Adaptive.h); the static T
+///                      passed by the bench becomes the starting point
+///   MULT_SITE_POLICIES=F  load per-future-site policies from F (picked
+///                      up by the Engine itself; see :profile FILE)
 inline bool traceRequested() { return std::getenv("MULT_TRACE") != nullptr; }
 inline bool metricsRequested() {
   return std::getenv("MULT_METRICS") != nullptr;
 }
 inline bool profileRequested() {
   return std::getenv("MULT_PROFILE") != nullptr;
+}
+inline bool adaptiveRequested() {
+  return std::getenv("MULT_ADAPTIVE_T") != nullptr;
 }
 
 /// Builds a machine configuration for one benchmark run.
@@ -63,6 +72,7 @@ inline EngineConfig machine(unsigned Procs,
   C.InlineThreshold = InlineT;
   C.LazyFutures = Lazy;
   C.HeapWords = size_t(1) << 23;
+  C.AdaptiveInline = adaptiveRequested();
   C.EnableTracing = traceRequested() || profileRequested();
   if (const char *Mode = std::getenv("MULT_TRACE_MODE"))
     C.TraceSink = Mode;

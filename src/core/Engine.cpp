@@ -37,13 +37,28 @@ static CompilerOptions compilerOptions(const EngineConfig &C) {
   return O;
 }
 
+static AdaptiveTConfig adaptiveConfig(const EngineConfig &C) {
+  AdaptiveTConfig A;
+  A.Enabled = C.AdaptiveInline;
+  A.WindowCycles = C.AdaptiveWindowCycles ? C.AdaptiveWindowCycles : 1;
+  A.MinT = C.AdaptiveMinT;
+  A.MaxT = std::max(C.AdaptiveMaxT, C.AdaptiveMinT);
+  A.Hysteresis = std::max(C.AdaptiveHysteresis, 1u);
+  // The static threshold, when set and finite, seeds the adaptive one;
+  // otherwise start from the paper's recommended T = 1.
+  unsigned Start = C.InlineThreshold ? *C.InlineThreshold : 1u;
+  A.StartT = std::clamp(Start, A.MinT, A.MaxT);
+  return A;
+}
+
 Engine::Engine(const EngineConfig &Config)
     : Cfg(Config), TheHeap(heapConfig(Config)), Syms(TheHeap),
       Builder(TheHeap, Syms), Registry(TheHeap),
       TheCompiler(Builder, Registry, compilerOptions(Config)),
       TheGc(TheHeap, Config.NumProcessors),
       TheMachine(Config.NumProcessors, Config.QuantumCycles,
-                 Config.MaxRunCycles, Config.StealPolicy),
+                 Config.MaxRunCycles, Config.StealPolicy,
+                 adaptiveConfig(Config)),
       Rng(Config.RandomSeed) {
   TheTracer.setEnabled(Config.EnableTracing);
   if (!Config.TraceSink.empty()) {
@@ -63,6 +78,42 @@ Engine::Engine(const EngineConfig &Config)
     if (!configureFaults(FaultSpec, Err))
       std::fprintf(stderr, "mult: ignoring MULT_FAULTS: %s\n", Err.c_str());
   }
+  // Site policies name program sites, so sites interned at bootstrap are
+  // unaffected (the prelude spawns no futures); load after bootstrap to
+  // mirror the fault plan's lifecycle.
+  std::string PolicyPath = Config.SitePolicies;
+  if (PolicyPath.empty())
+    if (const char *Env = std::getenv("MULT_SITE_POLICIES"))
+      PolicyPath = Env;
+  if (!PolicyPath.empty()) {
+    std::string Err;
+    if (!SitePolicyTab.loadFile(PolicyPath, Err))
+      std::fprintf(stderr, "mult: ignoring MULT_SITE_POLICIES: %s\n",
+                   Err.c_str());
+  }
+}
+
+bool Engine::configureSitePolicies(std::string_view Text, std::string &Err) {
+  SitePolicyTable New;
+  if (!New.parse(Text, Err))
+    return false;
+  SitePolicyTab = std::move(New);
+  SitePolicyMemo.clear();
+  return true;
+}
+
+const SitePolicy *Engine::sitePolicyFor(const void *CodeKey, uint32_t Pc,
+                                        std::string_view CodeName) {
+  auto Key = std::make_pair(CodeKey, Pc);
+  auto It = SitePolicyMemo.find(Key);
+  if (It != SitePolicyMemo.end())
+    return It->second;
+  std::string Name(CodeName);
+  Name += '+';
+  Name += std::to_string(Pc);
+  const SitePolicy *P = SitePolicyTab.lookup(Name);
+  SitePolicyMemo.emplace(Key, P);
+  return P;
 }
 
 bool Engine::configureFaults(std::string_view Spec, std::string &Err) {
@@ -764,9 +815,16 @@ void Engine::resetStats() {
     P.Instructions = 0;
     P.Dispatches = 0;
     P.Steals = 0;
+    P.StealAttempts = 0;
+    P.StealsFailed = 0;
+    P.StolenFrom = 0;
     P.TasksStarted = 0;
     P.HandlerActivations = 0;
     P.TraceIdling = false;
     P.Queues.resetHighWater();
   }
+  // Open adaptation windows baselined against the counters just zeroed;
+  // re-baseline them so window deltas never go negative. The learned
+  // thresholds survive (a reset measures a run, it doesn't unlearn).
+  TheMachine.rebaselineAdaptiveWindows();
 }

@@ -26,6 +26,7 @@
 
 #include "compiler/CodeGen.h"
 #include "core/Group.h"
+#include "core/SitePolicies.h"
 #include "fault/Injector.h"
 #include "core/Stats.h"
 #include "core/Task.h"
@@ -57,6 +58,25 @@ struct EngineConfig {
   /// inline every future; idle processors may retroactively split the
   /// parent off as a real task.
   bool LazyFutures = false;
+  /// Adaptive inlining threshold (sched/Adaptive.h): each processor
+  /// re-tunes its own T in fixed virtual-time windows from its steal
+  /// activity and queue backlog. InlineThreshold (when set and finite)
+  /// seeds the starting T; with this off the static threshold applies
+  /// unchanged. Deterministic: same seed, same schedule.
+  bool AdaptiveInline = false;
+  /// Adaptation window length in per-processor virtual cycles.
+  uint64_t AdaptiveWindowCycles = 4096;
+  /// Bounds the adaptive T may move within, and the vote count needed
+  /// before it moves (see AdaptiveTConfig).
+  unsigned AdaptiveMinT = 0;
+  unsigned AdaptiveMaxT = 16;
+  unsigned AdaptiveHysteresis = 2;
+  /// Path to a site-policy file (core/SitePolicies.h): per-future-site
+  /// eager/inline/lazy decisions, typically emitted by the critical-path
+  /// profiler (`:profile FILE`). Empty falls back to the
+  /// MULT_SITE_POLICIES environment variable; load errors are reported to
+  /// stderr at construction and the table stays empty.
+  std::string SitePolicies;
   /// Compile implicit touches for strict operations. false = "T3 mode",
   /// the sequential baseline of Table 2.
   bool EmitTouchChecks = true;
@@ -237,6 +257,27 @@ public:
   void noteFault(Processor &P, FaultKind Kind, uint64_t Detail = 0);
   /// @}
 
+  /// \name Future-site scheduling policies (core/SitePolicies.h)
+  /// @{
+  const SitePolicyTable &sitePolicies() const { return SitePolicyTab; }
+  /// Replaces the policy table (parses the *text format*, not a path).
+  /// False (and \p Err set) on a parse error; the old table is kept.
+  bool configureSitePolicies(std::string_view Text, std::string &Err);
+  /// The policy for the future site at (\p CodeKey, \p Pc), or nullptr.
+  /// Site names are matched the way the tracer names them:
+  /// "<code-name>+<pc>". Memoized per site; O(1) after first use.
+  const SitePolicy *sitePolicyFor(const void *CodeKey, uint32_t Pc,
+                                  std::string_view CodeName);
+  /// The threshold FutureOps compares queue depth against: the
+  /// processor's adaptive T when AdaptiveInline is on, the static
+  /// configuration otherwise.
+  std::optional<unsigned> inlineThresholdFor(const Processor &P) const {
+    if (Cfg.AdaptiveInline)
+      return P.Adapt.T;
+    return Cfg.InlineThreshold;
+  }
+  /// @}
+
   /// Renders the task → future wait-for graph from scheduler state:
   /// every blocked task, what it waits on, and any wait cycle found.
   /// Empty string when nothing is blocked.
@@ -298,6 +339,12 @@ private:
   EngineStats Stats;
   Tracer TheTracer;
   FaultInjector Injector;
+
+  SitePolicyTable SitePolicyTab;
+  /// Site-policy memo: (code object, pc) → table entry (nullptr = no
+  /// policy), so the hot future path never rebuilds name strings.
+  std::map<std::pair<const void *, uint32_t>, const SitePolicy *>
+      SitePolicyMemo;
 
   std::string ConsoleBuf;
   StringOutStream ConsoleStream{ConsoleBuf};

@@ -58,8 +58,29 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
     Site = Tr.futureSiteId(T.CurCode, T.Pc,
                            T.CurCode ? T.CurCode->Name : std::string_view());
 
-  // Lazy futures: provisionally inline everything, leave a seam.
-  if (Cfg.LazyFutures) {
+  // Profile-guided site policy: a loaded table overrides both the global
+  // lazy mode and the threshold machinery for the sites it names. The
+  // lookup is memoized per (code, pc) and skipped entirely while no table
+  // is loaded, so the default path is untouched.
+  // (Stats and PolicyDecision events are recorded where each decision
+  // commits, not here: a failed allocation re-runs this instruction.)
+  const SitePolicy *Pol = nullptr;
+  if (!E.sitePolicies().empty())
+    Pol = E.sitePolicyFor(T.CurCode, T.Pc,
+                          T.CurCode ? T.CurCode->Name : std::string_view());
+  auto RecordPolicy = [&] {
+    if (Tr.enabled())
+      Tr.record(TraceEventKind::PolicyDecision, P.Id, P.Clock,
+                static_cast<uint64_t>(*Pol), Site);
+  };
+
+  // Lazy futures (global mode, or a lazy site policy): provisionally
+  // inline, leave a seam.
+  if (Pol ? *Pol == SitePolicy::Lazy : Cfg.LazyFutures) {
+    if (Pol) {
+      ++E.stats().PolicyLazy;
+      RecordPolicy();
+    }
     uint32_t FrameIdx = enterThunk(T);
     lazyfutures::noteSeam(E, T, FrameIdx);
     P.charge(cost::LazySeamPush);
@@ -72,7 +93,8 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
 
   // Injected queue-capacity clamp: the paper's queue-overflow degradation
   // (evaluate inline rather than overflow the task queue), forced at an
-  // artificially low capacity.
+  // artificially low capacity. Capacity is physical, so it overrides even
+  // an eager site policy.
   if (E.faults().armed() && E.faults().queueCap() &&
       P.Queues.depth() >= *E.faults().queueCap()) {
     E.noteFault(P, FaultKind::QueueClamp, P.Queues.depth());
@@ -85,9 +107,21 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
   }
 
   // Inlining threshold (paper section 3): with >= T tasks already queued
-  // on this processor there is no point creating another.
-  if (Cfg.InlineThreshold &&
-      P.Queues.depth() >= *Cfg.InlineThreshold) {
+  // on this processor there is no point creating another. T is the
+  // processor's adaptive threshold when AdaptiveInline is on, the static
+  // configuration otherwise; an inline site policy decides outright.
+  bool Inline;
+  if (Pol) {
+    Inline = *Pol == SitePolicy::Inline;
+  } else {
+    std::optional<unsigned> Th = E.inlineThresholdFor(P);
+    Inline = Th && P.Queues.depth() >= *Th;
+  }
+  if (Inline) {
+    if (Pol) {
+      ++E.stats().PolicyInline;
+      RecordPolicy();
+    }
     enterThunk(T);
     P.charge(cost::FutureInline);
     ++E.stats().TasksInlined;
@@ -120,6 +154,10 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
   P.charge(Cycles);
   E.stats().Steps.CreateEnqueueCycles += Cycles;
   ++E.stats().FuturesCreated;
+  if (Pol) {
+    ++E.stats().PolicyEager;
+    RecordPolicy();
+  }
   if (Tr.enabled()) {
     Tr.record(TraceEventKind::InlineDecision, P.Id, P.Clock, 1, Site);
     Tr.record(TraceEventKind::FutureCreate, P.Id, P.Clock, Child, Site);

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-future-site scheduling policies (ROADMAP "critical-path-guided
+/// optimization").
+///
+/// A *future site* is one `future` form in the program, identified the
+/// same way the tracer names it: "<code-name>+<pc>" (Tracer::futureSiteId).
+/// A policy table maps sites to one of three behaviors and overrides the
+/// engine's global threshold/lazy machinery for those sites only:
+///
+///   eager  — always create a real task (the site's children carry the
+///            critical path; never serialize them behind the parent)
+///   inline — always evaluate in the parent (off-path site; the future
+///            is pure overhead)
+///   lazy   — provisionally inline behind a seam so an idle processor
+///            can still steal the continuation (worth keeping splittable,
+///            but not worth an unconditional task)
+///
+/// Tables round-trip through a line-oriented text format so the
+/// critical-path profiler can emit one (`:profile FILE`,
+/// obs::deriveSitePolicies) and a later run can load it
+/// (EngineConfig::SitePolicies / MULT_SITE_POLICIES):
+///
+///   ;; mul-t site policies v1
+///   site fib+12 eager
+///   site msort+33 lazy
+///
+/// Blank lines and lines starting with ';' are comments. Unknown sites in
+/// a loaded table are harmless (they simply never match); sites absent
+/// from the table fall back to the threshold/adaptive path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_CORE_SITEPOLICIES_H
+#define MULT_CORE_SITEPOLICIES_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mult {
+
+enum class SitePolicy : uint8_t { Eager = 0, Inline = 1, Lazy = 2 };
+
+const char *sitePolicyName(SitePolicy P);
+
+class SitePolicyTable {
+public:
+  bool empty() const { return Policies.empty(); }
+  size_t size() const { return Policies.size(); }
+  void clear() { Policies.clear(); }
+
+  void set(std::string Site, SitePolicy P) { Policies[std::move(Site)] = P; }
+
+  /// Returns nullptr when the site has no policy.
+  const SitePolicy *lookup(std::string_view Site) const;
+
+  /// Renders the table in the text format above (stable order).
+  std::string format() const;
+
+  /// Parses the text format, replacing this table's contents. On failure
+  /// returns false with a message in \p Err and leaves the table empty.
+  bool parse(std::string_view Text, std::string &Err);
+
+  /// File convenience wrappers around parse()/format().
+  bool loadFile(const std::string &Path, std::string &Err);
+  bool saveFile(const std::string &Path, std::string &Err) const;
+
+  const std::map<std::string, SitePolicy, std::less<>> &entries() const {
+    return Policies;
+  }
+
+private:
+  std::map<std::string, SitePolicy, std::less<>> Policies;
+};
+
+} // namespace mult
+
+#endif // MULT_CORE_SITEPOLICIES_H

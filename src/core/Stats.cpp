@@ -25,6 +25,13 @@ void dumpStats(OutStream &OS, const EngineStats &S) {
   OS << "scheduling: dispatches " << S.Dispatches << ", steals " << S.Steals
      << " (of " << S.StealAttempts << " attempts, " << S.StealsFailed
      << " failed)\n";
+  if (S.AdaptWindows)
+    OS << "adaptive-T: " << S.AdaptWindows << " windows, "
+       << S.ThresholdRaises << " raises, " << S.ThresholdLowers
+       << " lowers\n";
+  if (S.PolicyEager || S.PolicyInline || S.PolicyLazy)
+    OS << "site policies: " << S.PolicyEager << " eager, " << S.PolicyInline
+       << " inline, " << S.PolicyLazy << " lazy\n";
   OS << "execution: " << S.Instructions << " insns, " << S.CyclesExecuted
      << " cycles busy, " << S.IdleCycles << " idle\n";
   if (S.FaultsInjected || S.HeapExhaustedStops || S.DeadlocksDetected)

@@ -54,6 +54,17 @@ struct EngineStats {
   uint64_t StealAttempts = 0;
   uint64_t StealsFailed = 0;
 
+  // Adaptive inlining threshold (sched/Adaptive.h; zero unless
+  // EngineConfig::AdaptiveInline).
+  uint64_t AdaptWindows = 0;     ///< adaptation windows closed
+  uint64_t ThresholdRaises = 0;  ///< T moved up (starvation signal)
+  uint64_t ThresholdLowers = 0;  ///< T moved down (surplus signal)
+
+  // Per-site policies (core/SitePolicies.h; zero unless a table loaded).
+  uint64_t PolicyEager = 0;  ///< futures forced eager by a site policy
+  uint64_t PolicyInline = 0; ///< futures forced inline by a site policy
+  uint64_t PolicyLazy = 0;   ///< futures forced lazy by a site policy
+
   // Robustness (src/fault and the degradation paths it exercises).
   uint64_t FaultsInjected = 0;      ///< fault-plan clauses that fired
   uint64_t HeapExhaustedStops = 0;  ///< groups stopped on heap-exhausted

@@ -30,6 +30,10 @@ const char *faultKindName(FaultKind K) {
     return "queue-clamp";
   case FaultKind::Stall:
     return "stall";
+  case FaultKind::AdaptClamp:
+    return "adapt-clamp";
+  case FaultKind::AdaptReset:
+    return "adapt-reset";
   }
   return "unknown-fault";
 }
@@ -37,7 +41,8 @@ const char *faultKindName(FaultKind K) {
 bool FaultPlan::empty() const {
   return AllocFailAt.empty() && AllocFailEvery == 0 && GcAtCycles.empty() &&
          SpawnErrorAt.empty() && TouchErrorAt.empty() && StealFailProb == 0.0 &&
-         StealFailAt.empty() && !QueueCap && Stalls.empty();
+         StealFailAt.empty() && !QueueCap && Stalls.empty() &&
+         AdaptClamps.empty() && AdaptResetAt.empty();
 }
 
 namespace {
@@ -142,6 +147,22 @@ std::string formatProb(double P) {
   return S;
 }
 
+/// One adapt clamp: WINDOW@VALUE.
+bool parseAdaptClamp(std::string_view S, FaultPlan::AdaptClampAt &Out) {
+  size_t At = S.find('@');
+  if (At == std::string_view::npos)
+    return false;
+  uint64_t Window, Value;
+  if (!parseU64(trim(S.substr(0, At)), Window) ||
+      !parseU64(trim(S.substr(At + 1)), Value))
+    return false;
+  if (Window == 0 || Value > 0xffffffffull)
+    return false;
+  Out.Window = Window;
+  Out.Value = uint32_t(Value);
+  return true;
+}
+
 } // namespace
 
 std::string FaultPlan::format() const {
@@ -180,6 +201,18 @@ std::string FaultPlan::format() const {
     }
     Clause("stall=" + L);
   }
+  if (!AdaptClamps.empty()) {
+    std::string L;
+    for (size_t I = 0; I < AdaptClamps.size(); ++I) {
+      if (I)
+        L += ",";
+      L += strFormat("%llu@%u", (unsigned long long)AdaptClamps[I].Window,
+                     AdaptClamps[I].Value);
+    }
+    Clause("adapt-clamp=" + L);
+  }
+  if (!AdaptResetAt.empty())
+    Clause("adapt-reset=" + joinList(AdaptResetAt));
   return S;
 }
 
@@ -236,6 +269,20 @@ bool FaultPlan::parse(std::string_view Spec, FaultPlan &Out, std::string &Err) {
         }
         Out.Stalls.push_back(W);
       }
+    } else if (Key == "adapt-clamp") {
+      Ok = !Val.empty();
+      for (std::string_view Part : splitOn(Val, ',')) {
+        AdaptClampAt A;
+        if (!parseAdaptClamp(trim(Part), A)) {
+          Ok = false;
+          break;
+        }
+        Out.AdaptClamps.push_back(A);
+      }
+    } else if (Key == "adapt-reset") {
+      Ok = parseU64List(Val, Out.AdaptResetAt);
+      Ok = Ok && std::find(Out.AdaptResetAt.begin(), Out.AdaptResetAt.end(),
+                           0ull) == Out.AdaptResetAt.end();
     } else {
       Err = strFormat("unknown fault clause '%.*s'", int(Key.size()),
                       Key.data());
@@ -251,9 +298,14 @@ bool FaultPlan::parse(std::string_view Spec, FaultPlan &Out, std::string &Err) {
   sortUnique(Out.SpawnErrorAt);
   sortUnique(Out.TouchErrorAt);
   sortUnique(Out.StealFailAt);
+  sortUnique(Out.AdaptResetAt);
   std::stable_sort(Out.Stalls.begin(), Out.Stalls.end(),
                    [](const StallWindow &A, const StallWindow &B) {
                      return A.Begin < B.Begin;
+                   });
+  std::stable_sort(Out.AdaptClamps.begin(), Out.AdaptClamps.end(),
+                   [](const AdaptClampAt &A, const AdaptClampAt &B) {
+                     return A.Window < B.Window;
                    });
   return true;
 }

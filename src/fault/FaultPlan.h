@@ -34,6 +34,14 @@
 ///   stall=P@B+L[,P@B+L...]   processor P goes offline for L cycles once
 ///                            the run clock reaches B (run-start-relative;
 ///                            models a slow or failed board on the bus)
+///   adapt-clamp=N@V[,...]    when the Nth adaptation window closes
+///                            (machine-wide 1-based ordinal), clamp the
+///                            closing processor's adaptive inlining
+///                            threshold to V and discard its pending
+///                            hysteresis votes
+///   adapt-reset=N[,N...]     when the Nth adaptation window closes,
+///                            discard its samples and pending votes (the
+///                            threshold keeps its value)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,6 +66,8 @@ enum class FaultKind : uint8_t {
   StealFail,  ///< forced steal-probe failure
   QueueClamp, ///< queue-capacity clamp forced an inline evaluation
   Stall,      ///< processor offline window
+  AdaptClamp, ///< adaptive inlining threshold forced to a value
+  AdaptReset, ///< adaptive controller window samples discarded
 };
 
 /// Human-readable name of \p K ("alloc-fail", "stall", ...).
@@ -86,6 +96,13 @@ struct FaultPlan {
     uint64_t Length = 0; ///< cycles the processor stays offline
   };
   std::vector<StallWindow> Stalls;
+
+  struct AdaptClampAt {
+    uint64_t Window = 0; ///< machine-wide 1-based window ordinal
+    uint32_t Value = 0;  ///< threshold to force (clamped to the T bounds)
+  };
+  std::vector<AdaptClampAt> AdaptClamps; ///< sorted by Window
+  std::vector<uint64_t> AdaptResetAt;    ///< sorted window ordinals
 
   /// True when no clause can ever fire.
   bool empty() const;

@@ -15,6 +15,7 @@ void FaultInjector::configure(const FaultPlan &P) {
   Rng = Prng(Plan.Seed);
   AllocN = SpawnN = TouchN = StealN = 0;
   AllocIdx = GcIdx = SpawnIdx = TouchIdx = StealIdx = 0;
+  AdaptClampIdx = AdaptResetIdx = 0;
   StallDone.assign(Plan.Stalls.size(), false);
   PendingInjectedAllocFail = false;
 }
@@ -106,6 +107,27 @@ bool FaultInjector::takeStall(unsigned Proc, uint64_t RelClock,
     return true;
   }
   return false;
+}
+
+bool FaultInjector::takeAdaptClamp(uint64_t Ordinal, uint32_t &ValueOut) {
+  if (!Armed)
+    return false;
+  bool Hit = false;
+  while (AdaptClampIdx < Plan.AdaptClamps.size() &&
+         Plan.AdaptClamps[AdaptClampIdx].Window <= Ordinal) {
+    if (Plan.AdaptClamps[AdaptClampIdx].Window == Ordinal) {
+      Hit = true;
+      ValueOut = Plan.AdaptClamps[AdaptClampIdx].Value;
+    }
+    ++AdaptClampIdx;
+  }
+  return Hit;
+}
+
+bool FaultInjector::takeAdaptReset(uint64_t Ordinal) {
+  if (!Armed)
+    return false;
+  return hitOrdinal(Plan.AdaptResetAt, AdaptResetIdx, Ordinal);
 }
 
 } // namespace mult

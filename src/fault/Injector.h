@@ -65,6 +65,15 @@ public:
   /// \p EndRelOut = the run-relative cycle the window closes.
   bool takeStall(unsigned Proc, uint64_t RelClock, uint64_t &EndRelOut);
 
+  /// If the closing adaptation window \p Ordinal (machine-wide, 1-based)
+  /// has an adapt-clamp clause, consumes it and returns true with
+  /// \p ValueOut = the forced threshold.
+  bool takeAdaptClamp(uint64_t Ordinal, uint32_t &ValueOut);
+
+  /// If the closing adaptation window \p Ordinal has an adapt-reset
+  /// clause, consumes it and returns true.
+  bool takeAdaptReset(uint64_t Ordinal);
+
 private:
   FaultPlan Plan;
   bool Armed = false;
@@ -79,6 +88,8 @@ private:
   size_t SpawnIdx = 0;
   size_t TouchIdx = 0;
   size_t StealIdx = 0;
+  size_t AdaptClampIdx = 0; ///< next unconsumed entry of Plan.AdaptClamps
+  size_t AdaptResetIdx = 0; ///< next unconsumed entry of Plan.AdaptResetAt
   std::vector<bool> StallDone; ///< parallel to Plan.Stalls
   bool PendingInjectedAllocFail = false;
 };

@@ -278,6 +278,8 @@ mult::analyzeCriticalPath(const std::vector<TraceEvent> &Events,
     case TraceEventKind::IdleBegin:
     case TraceEventKind::IdleEnd:
     case TraceEventKind::FaultInjected:
+    case TraceEventKind::ThresholdChange:
+    case TraceEventKind::PolicyDecision:
       break; // No effect on the DAG.
     }
   }

@@ -27,15 +27,22 @@ MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
     PM.Instructions = P.Instructions;
     PM.Dispatches = P.Dispatches;
     PM.Steals = P.Steals;
+    PM.StealAttempts = P.StealAttempts;
+    PM.StealsFailed = P.StealsFailed;
     PM.TasksStarted = P.TasksStarted;
     PM.NewQueueHighWater = P.Queues.newHighWater();
     PM.SuspQueueHighWater = P.Queues.suspendedHighWater();
+    PM.AdaptiveT = P.Adapt.T;
     R.Procs.push_back(PM);
   }
 
   R.StealAttempts = S.StealAttempts;
   R.Steals = S.Steals;
   R.StealsFailed = S.StealsFailed;
+  R.AdaptiveT = M.adaptiveEnabled();
+  R.AdaptWindows = S.AdaptWindows;
+  R.ThresholdRaises = S.ThresholdRaises;
+  R.ThresholdLowers = S.ThresholdLowers;
   R.Collections = G.Collections;
   R.GcPauseCycles = G.TotalPauseCycles;
   R.FaultsInjected = S.FaultsInjected;
@@ -66,16 +73,25 @@ MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
 void mult::dumpMetrics(OutStream &OS, const MetricsReport &R) {
   OS << "per-processor virtual time (cycles):\n";
   OS << "  proc       busy       idle         gc      insns  disp  steal"
-        "  qhi(new/susp)\n";
+        "/att(rate)  qhi(new/susp)";
+  if (R.AdaptiveT)
+    OS << "  T";
+  OS << "\n";
   for (const ProcMetrics &P : R.Procs) {
-    OS << strFormat("  %4u %10llu %10llu %10llu %10llu %5llu %6llu  %zu/%zu\n",
-                    P.Id, static_cast<unsigned long long>(P.BusyCycles),
-                    static_cast<unsigned long long>(P.IdleCycles),
-                    static_cast<unsigned long long>(P.GcCycles),
-                    static_cast<unsigned long long>(P.Instructions),
-                    static_cast<unsigned long long>(P.Dispatches),
-                    static_cast<unsigned long long>(P.Steals),
-                    P.NewQueueHighWater, P.SuspQueueHighWater);
+    OS << strFormat(
+        "  %4u %10llu %10llu %10llu %10llu %5llu %6llu/%llu(%.0f%%)  %zu/%zu",
+        P.Id, static_cast<unsigned long long>(P.BusyCycles),
+        static_cast<unsigned long long>(P.IdleCycles),
+        static_cast<unsigned long long>(P.GcCycles),
+        static_cast<unsigned long long>(P.Instructions),
+        static_cast<unsigned long long>(P.Dispatches),
+        static_cast<unsigned long long>(P.Steals),
+        static_cast<unsigned long long>(P.StealAttempts),
+        P.stealSuccessRate() * 100.0, P.NewQueueHighWater,
+        P.SuspQueueHighWater);
+    if (R.AdaptiveT)
+      OS << strFormat("  %u", P.AdaptiveT);
+    OS << "\n";
   }
   OS << strFormat("stealing: %llu of %llu attempts succeeded (%llu failed, "
                   "%.1f%% success)\n",
@@ -83,6 +99,12 @@ void mult::dumpMetrics(OutStream &OS, const MetricsReport &R) {
                   static_cast<unsigned long long>(R.StealAttempts),
                   static_cast<unsigned long long>(R.StealsFailed),
                   R.stealSuccessRate() * 100.0);
+  if (R.AdaptiveT)
+    OS << strFormat("adaptive-T: %llu windows closed, %llu raises, "
+                    "%llu lowers\n",
+                    static_cast<unsigned long long>(R.AdaptWindows),
+                    static_cast<unsigned long long>(R.ThresholdRaises),
+                    static_cast<unsigned long long>(R.ThresholdLowers));
   OS << strFormat("gc: %llu collections, %llu pause cycles\n",
                   static_cast<unsigned long long>(R.Collections),
                   static_cast<unsigned long long>(R.GcPauseCycles));

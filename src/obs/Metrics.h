@@ -35,9 +35,20 @@ struct ProcMetrics {
   uint64_t Instructions = 0;
   uint64_t Dispatches = 0;
   uint64_t Steals = 0;
+  uint64_t StealAttempts = 0; ///< probes this processor made as a thief
+  uint64_t StealsFailed = 0;  ///< of those, probes that found nothing
   uint64_t TasksStarted = 0;
   size_t NewQueueHighWater = 0;
   size_t SuspQueueHighWater = 0;
+  /// This processor's inlining threshold at the end of the run
+  /// (meaningful when MetricsReport::AdaptiveT).
+  unsigned AdaptiveT = 0;
+  /// This processor's steal success as a thief, 0 when it never probed.
+  double stealSuccessRate() const {
+    return StealAttempts == 0 ? 0.0
+                              : static_cast<double>(Steals) /
+                                    static_cast<double>(StealAttempts);
+  }
 };
 
 /// The whole report.
@@ -54,6 +65,12 @@ struct MetricsReport {
                ? 0.0
                : static_cast<double>(Steals) / static_cast<double>(StealAttempts);
   }
+
+  // Adaptive inlining threshold (sched/Adaptive.h).
+  bool AdaptiveT = false;        ///< the controller was enabled
+  uint64_t AdaptWindows = 0;     ///< windows closed across the machine
+  uint64_t ThresholdRaises = 0;
+  uint64_t ThresholdLowers = 0;
 
   // GC.
   uint64_t Collections = 0;

@@ -78,3 +78,28 @@ void mult::dumpProfile(OutStream &OS, const CriticalPathReport &R,
                     static_cast<unsigned long long>(S.ChildOnPath));
   }
 }
+
+SitePolicyTable mult::deriveSitePolicies(const CriticalPathReport &R,
+                                         const PolicyDeriveOptions &Opts) {
+  SitePolicyTable T;
+  if (!R.Ok)
+    return T;
+  for (const FutureSiteProfile &S : R.Sites) {
+    // No measured child weight (the site always inlined, or its children
+    // never got to run): no evidence either way, leave it to the
+    // threshold machinery.
+    if (S.ChildWork == 0)
+      continue;
+    double OnPathShare =
+        static_cast<double>(S.ChildOnPath) / static_cast<double>(S.ChildWork);
+    SitePolicy P;
+    if (OnPathShare >= Opts.EagerShare)
+      P = SitePolicy::Eager; // children carry the span; keep them parallel
+    else if (S.ChildWork >= Opts.LazyMinChildWork)
+      P = SitePolicy::Lazy; // heavy but off-path; keep splittable only
+    else
+      P = SitePolicy::Inline; // light and off-path; pure overhead
+    T.set(S.Name, P);
+  }
+  return T;
+}

@@ -16,6 +16,7 @@
 #ifndef MULT_OBS_PROFILE_H
 #define MULT_OBS_PROFILE_H
 
+#include "core/SitePolicies.h"
 #include "obs/CriticalPath.h"
 #include "support/OutStream.h"
 
@@ -26,6 +27,24 @@ namespace mult {
 /// the processor count the run actually used.
 void dumpProfile(OutStream &OS, const CriticalPathReport &R,
                  unsigned MeasuredProcs = 0, uint64_t MeasuredCycles = 0);
+
+/// Thresholds for deriveSitePolicies.
+struct PolicyDeriveOptions {
+  /// A site whose children put at least this share of their cycles on the
+  /// critical path stays eager (serializing them would stretch the span).
+  double EagerShare = 0.05;
+  /// An off-path site whose children still executed at least this many
+  /// cycles goes lazy (worth keeping splittable); smaller ones inline.
+  uint64_t LazyMinChildWork = 4096;
+};
+
+/// Closes the measure→decide loop (ROADMAP "critical-path-guided
+/// optimization"): turns a critical-path report into a site-policy table
+/// the engine can load on the next run. Sites whose children never ran
+/// (always inlined — no weight was measured) get no entry and keep the
+/// threshold behavior.
+SitePolicyTable deriveSitePolicies(const CriticalPathReport &R,
+                                   const PolicyDeriveOptions &Opts = {});
 
 } // namespace mult
 

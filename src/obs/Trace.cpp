@@ -283,6 +283,8 @@ const char *mult::traceEventKindName(TraceEventKind K) {
   case TraceEventKind::IdleBegin: return "idle-begin";
   case TraceEventKind::IdleEnd: return "idle-end";
   case TraceEventKind::FaultInjected: return "fault-injected";
+  case TraceEventKind::ThresholdChange: return "threshold-change";
+  case TraceEventKind::PolicyDecision: return "policy-decision";
   }
   return "unknown";
 }

@@ -94,6 +94,12 @@ enum class TraceEventKind : uint8_t {
   FaultInjected,  ///< A fault-plan clause fired. A = FaultKind, B = detail
                   ///< (site-specific: task queue depth, stall length, ...),
                   ///< C = running count of injected faults.
+  ThresholdChange,///< Adaptive controller moved this processor's inlining
+                  ///< threshold. A = new T, B = old T, C = machine-wide
+                  ///< window ordinal of the closing window.
+  PolicyDecision, ///< A loaded site policy decided a `future`. A =
+                  ///< SitePolicy (0 eager, 1 inline, 2 lazy), B =
+                  ///< future-site id.
 };
 
 /// Human-readable name of \p K ("task-create", "steal-attempt", ...).

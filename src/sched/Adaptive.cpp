@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adaptive inlining-threshold decision logic. Pure functions over window
+/// signals so the controller is unit-testable without a Machine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/Adaptive.h"
+
+#include <algorithm>
+
+using namespace mult;
+
+int adaptive::decideStep(const AdaptiveTConfig &Cfg, unsigned CurT,
+                         const WindowSignals &W) {
+  // Starving thief: this processor probed for work and mostly came back
+  // empty. Its T is moot while it idles, but cutting its supply now can
+  // only make the shortage worse — lowering is suppressed below.
+  bool Starving = W.StealAttempts >= Cfg.MinProbes &&
+                  2 * W.StealsFailed >= W.StealAttempts;
+  // Floor: on a multiprocessor keep at least one task buffered (the
+  // paper's static recommendation). At T = 0 the queue stays empty, so
+  // demand becomes invisible and the processor serializes its whole
+  // subtree while the others idle; only a machine with no possible thief
+  // lets T fall to MinT.
+  unsigned Floor = Cfg.MinT;
+  if (W.Processors > 1 && Floor < 1)
+    Floor = 1;
+  // Demand: tasks thieves actually took from this queue. Realized flow,
+  // not probe counts — idle processors retry steals in a tight loop, so
+  // failure counts balloon on span-limited programs without implying a
+  // deeper buffer would have supplied anything.
+  unsigned Target = static_cast<unsigned>(std::min<uint64_t>(
+      std::max<uint64_t>(W.StolenFrom, Floor), Cfg.MaxT));
+  if (Target > CurT)
+    return +1;
+  if (Target < CurT)
+    return Starving ? 0 : -1;
+  // Backlog: the queue climbed well past the threshold and thieves did
+  // not drain it — surplus parallelism, shed the creation overhead.
+  bool Backlogged =
+      W.QueueHighWater >= static_cast<size_t>(CurT) + Cfg.DrainSlack;
+  if (Backlogged && CurT > Floor && !Starving)
+    return -1;
+  return 0;
+}
+
+bool adaptive::applyStep(const AdaptiveTConfig &Cfg, AdaptiveTState &A,
+                         int Dir) {
+  if (Dir == 0) {
+    A.PendingDir = 0;
+    A.PendingCount = 0;
+    return false;
+  }
+  if (Dir == A.PendingDir) {
+    ++A.PendingCount;
+  } else {
+    A.PendingDir = Dir;
+    A.PendingCount = 1;
+  }
+  if (A.PendingCount < Cfg.Hysteresis)
+    return false;
+  A.PendingDir = 0;
+  A.PendingCount = 0;
+  unsigned Old = A.T;
+  if (Dir > 0) {
+    if (A.T < Cfg.MaxT)
+      ++A.T;
+  } else {
+    if (A.T > Cfg.MinT)
+      --A.T;
+  }
+  if (A.T == Old)
+    return false;
+  if (Dir > 0)
+    ++A.Raises;
+  else
+    ++A.Lowers;
+  return true;
+}

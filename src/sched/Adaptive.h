@@ -1,0 +1,117 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adaptive inlining threshold (ROADMAP "adaptive inlining threshold").
+///
+/// The paper's inlining optimization (section 3) evaluates a future inline
+/// when the creating processor's queues already hold >= T tasks, for one
+/// static T chosen per run — and its own Table 3 shows the best T depends
+/// on the workload and the processor count. This module closes the loop:
+/// each processor re-tunes its *own* T in fixed virtual-time windows.
+///
+/// The controller tracks *realized demand*: T's job is to keep enough
+/// tasks buffered that thieves leave with work, and the tasks thieves
+/// actually took from this queue in a window (StolenFrom) measure exactly
+/// that. Each window the processor steps T toward
+/// clamp(StolenFrom, floor, MaxT). Probe/failure rates are deliberately
+/// NOT the driver: an idle processor retries steals in a tight loop, so
+/// failed-probe counts balloon on any span-limited program and say
+/// nothing about what a deeper buffer would have supplied (the
+/// first-draft controller raised T on failure rate and lost ~7-25% on
+/// every workload to future-creation overhead). Failure rates instead
+/// play two guard roles:
+///
+///   - floor: on a multiprocessor T never drops below 1 (the paper's
+///     recommended static setting) — at T = 0 the queue is always empty,
+///     demand becomes invisible, and a processor that inlines everything
+///     serializes its whole subtree while the others idle; only a
+///     single-processor machine, where no thief can ever arrive, lets T
+///     fall to MinT and shed the last future's overhead;
+///   - hold: a processor whose own probes mostly fail is starving, and
+///     however miscalibrated its T looks, cutting supply then would only
+///     make things worse — lowering is suppressed for that window.
+///
+/// A queue high-water mark well past T additionally votes to lower
+/// (backlog nobody drained = surplus parallelism, shed the overhead).
+///
+/// All inputs are deterministic virtual-time state (no PRNG, no host
+/// clocks), so adaptive runs replay bit-for-bit from the same seed. The
+/// decision applies bounded hysteresis: T moves one step at a time, only
+/// after the same direction wins Hysteresis consecutive windows, and
+/// never leaves [MinT, MaxT]. With Enabled = false the controller is
+/// never consulted and the engine behaves exactly as before (the static
+/// EngineConfig::InlineThreshold path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_SCHED_ADAPTIVE_H
+#define MULT_SCHED_ADAPTIVE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mult {
+
+/// Tuning knobs of the per-processor threshold controller
+/// (EngineConfig::Adaptive*).
+struct AdaptiveTConfig {
+  bool Enabled = false;
+  /// Window length in the owning processor's virtual cycles.
+  uint64_t WindowCycles = 4096;
+  unsigned MinT = 0;
+  unsigned MaxT = 16;
+  /// Starting threshold (EngineConfig::InlineThreshold when set and
+  /// finite; the paper's recommended T = 1 otherwise).
+  unsigned StartT = 1;
+  /// Consecutive windows that must vote the same direction before T moves.
+  unsigned Hysteresis = 2;
+  /// Minimum steal probes in a window before the failure rate is trusted.
+  uint64_t MinProbes = 4;
+  /// Surplus when the window queue high-water reaches T + DrainSlack.
+  unsigned DrainSlack = 2;
+};
+
+/// What one processor observed during one adaptation window.
+struct WindowSignals {
+  uint64_t StealAttempts = 0; ///< probes this processor made as a thief
+  uint64_t StealsFailed = 0;  ///< probes that came back empty-handed
+  uint64_t StolenFrom = 0;    ///< tasks thieves took from this processor
+  uint64_t TasksQueued = 0;   ///< tasks this processor pushed on its new queue
+  size_t QueueHighWater = 0;  ///< max own queue depth within the window
+  /// Processors on the machine; more than one floors T at 1 (see the
+  /// module comment — at T = 0 demand becomes invisible).
+  unsigned Processors = 1;
+};
+
+/// Per-processor controller state (embedded in Processor).
+struct AdaptiveTState {
+  unsigned T = 1;            ///< the processor's current threshold
+  uint64_t WindowEnd = 0;    ///< clock at which the open window closes
+  uint64_t AttemptsAtStart = 0;
+  uint64_t FailedAtStart = 0;
+  uint64_t StolenFromAtStart = 0;
+  uint64_t QueuedAtStart = 0;
+  int PendingDir = 0;        ///< hysteresis: direction under consideration
+  unsigned PendingCount = 0; ///< consecutive windows voting PendingDir
+  uint64_t WindowsClosed = 0;
+  uint64_t Raises = 0;
+  uint64_t Lowers = 0;
+};
+
+namespace adaptive {
+
+/// Direction one window's signals vote to move the threshold: +1 raise
+/// (demand exceeded the buffer), -1 lower (surplus), 0 hold. Pure;
+/// bounds are applied by applyStep.
+int decideStep(const AdaptiveTConfig &Cfg, unsigned CurT,
+               const WindowSignals &W);
+
+/// Feeds one window's vote \p Dir through the hysteresis filter and, when
+/// it carries, moves A.T one step within [Cfg.MinT, Cfg.MaxT]. Returns
+/// true when A.T actually changed.
+bool applyStep(const AdaptiveTConfig &Cfg, AdaptiveTState &A, int Dir);
+
+} // namespace adaptive
+} // namespace mult
+
+#endif // MULT_SCHED_ADAPTIVE_H

@@ -19,12 +19,84 @@
 using namespace mult;
 
 Machine::Machine(unsigned NumProcessors, uint64_t QuantumCycles,
-                 uint64_t MaxRunCycles, StealOrder Order)
-    : Quantum(QuantumCycles), MaxRunCycles(MaxRunCycles), Order(Order) {
+                 uint64_t MaxRunCycles, StealOrder Order,
+                 const AdaptiveTConfig &Adaptive)
+    : Quantum(QuantumCycles), MaxRunCycles(MaxRunCycles), Order(Order),
+      Adaptive(Adaptive) {
   assert(NumProcessors >= 1 && "need at least one processor");
   Procs.resize(NumProcessors);
-  for (unsigned I = 0; I < NumProcessors; ++I)
+  for (unsigned I = 0; I < NumProcessors; ++I) {
     Procs[I].Id = I;
+    Procs[I].Adapt.T = Adaptive.StartT;
+    beginAdaptiveWindow(Procs[I]);
+  }
+}
+
+void Machine::beginAdaptiveWindow(Processor &P) {
+  AdaptiveTState &A = P.Adapt;
+  A.WindowEnd = P.Clock + Adaptive.WindowCycles;
+  A.AttemptsAtStart = P.StealAttempts;
+  A.FailedAtStart = P.StealsFailed;
+  A.StolenFromAtStart = P.StolenFrom;
+  A.QueuedAtStart = P.Queues.newPushes();
+  P.Queues.resetWindowHighWater();
+}
+
+void Machine::rebaselineAdaptiveWindows() {
+  for (Processor &P : Procs)
+    beginAdaptiveWindow(P);
+}
+
+void Machine::closeAdaptiveWindow(Engine &E, Processor &P) {
+  AdaptiveTState &A = P.Adapt;
+  uint64_t Ordinal = ++AdaptWindowOrdinal;
+  ++A.WindowsClosed;
+  ++E.stats().AdaptWindows;
+  P.charge(cost::AdaptiveWindow);
+
+  WindowSignals W;
+  W.StealAttempts = P.StealAttempts - A.AttemptsAtStart;
+  W.StealsFailed = P.StealsFailed - A.FailedAtStart;
+  W.StolenFrom = P.StolenFrom - A.StolenFromAtStart;
+  W.TasksQueued = P.Queues.newPushes() - A.QueuedAtStart;
+  W.QueueHighWater = P.Queues.windowHighWater();
+  W.Processors = numProcessors();
+
+  if (E.faults().armed()) {
+    if (E.faults().takeAdaptReset(Ordinal)) {
+      // Discard the window's samples and any pending votes.
+      E.noteFault(P, FaultKind::AdaptReset, Ordinal);
+      A.PendingDir = 0;
+      A.PendingCount = 0;
+      beginAdaptiveWindow(P);
+      return;
+    }
+    uint32_t Forced;
+    if (E.faults().takeAdaptClamp(Ordinal, Forced)) {
+      unsigned Old = A.T;
+      A.T = std::clamp(Forced, Adaptive.MinT, Adaptive.MaxT);
+      A.PendingDir = 0;
+      A.PendingCount = 0;
+      E.noteFault(P, FaultKind::AdaptClamp, A.T);
+      if (A.T != Old)
+        E.tracer().record(TraceEventKind::ThresholdChange, P.Id, P.Clock,
+                          A.T, Old, Ordinal);
+      beginAdaptiveWindow(P);
+      return;
+    }
+  }
+
+  unsigned Old = A.T;
+  int Dir = adaptive::decideStep(Adaptive, A.T, W);
+  if (adaptive::applyStep(Adaptive, A, Dir)) {
+    if (Dir > 0)
+      ++E.stats().ThresholdRaises;
+    else
+      ++E.stats().ThresholdLowers;
+    E.tracer().record(TraceEventKind::ThresholdChange, P.Id, P.Clock, A.T,
+                      Old, Ordinal);
+  }
+  beginAdaptiveWindow(P);
 }
 
 std::vector<uint64_t> Machine::clocks() const {
@@ -110,6 +182,12 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
       E.stats().ElapsedCycles = R.ElapsedCycles;
       return R;
     }
+
+    // Adaptive inlining threshold: this processor's adaptation window may
+    // have elapsed (its clock moves only in this loop, so checking here
+    // catches every crossing exactly once).
+    if (Adaptive.Enabled && P.Clock >= P.Adapt.WindowEnd)
+      closeAdaptiveWindow(E, P);
 
     if (E.faults().armed()) {
       // Processor stall window: the board drops off the bus for a while.

@@ -18,6 +18,7 @@
 #ifndef MULT_SCHED_MACHINE_H
 #define MULT_SCHED_MACHINE_H
 
+#include "sched/Adaptive.h"
 #include "sched/TaskQueues.h"
 
 #include <string>
@@ -46,8 +47,15 @@ struct Processor {
   uint64_t Instructions = 0;
   uint64_t Dispatches = 0;
   uint64_t Steals = 0;
+  uint64_t StealAttempts = 0; ///< probes this processor made as a thief
+  uint64_t StealsFailed = 0;  ///< of those, probes that found nothing
+  uint64_t StolenFrom = 0;    ///< tasks thieves took from this processor
   uint64_t TasksStarted = 0;
   uint64_t HandlerActivations = 0; ///< exception-handler server task runs
+
+  /// Adaptive inlining-threshold controller state (sched/Adaptive.h);
+  /// consulted only when EngineConfig::AdaptiveInline is set.
+  AdaptiveTState Adapt;
 
   /// True between the first fruitless dispatch and the next successful
   /// one; lets the run loop emit one idle-begin/idle-end trace pair per
@@ -92,7 +100,8 @@ struct RunResult {
 class Machine {
 public:
   Machine(unsigned NumProcessors, uint64_t QuantumCycles,
-          uint64_t MaxRunCycles, StealOrder Order);
+          uint64_t MaxRunCycles, StealOrder Order,
+          const AdaptiveTConfig &Adaptive = AdaptiveTConfig());
 
   /// Runs until the future \p RootFuture resolves (or an exceptional
   /// status). Runnable tasks must already be enqueued.
@@ -110,6 +119,20 @@ public:
 
   StealOrder stealOrder() const { return Order; }
 
+  const AdaptiveTConfig &adaptiveConfig() const { return Adaptive; }
+  bool adaptiveEnabled() const { return Adaptive.Enabled; }
+
+  /// Machine-lifetime count of closed adaptation windows (never reset —
+  /// the ordinal that fault-plan adapt-clamp/adapt-reset clauses key on).
+  /// Lets callers aim a clause at upcoming windows: the prelude and any
+  /// earlier evals already consumed the low ordinals.
+  uint64_t adaptWindowsClosed() const { return AdaptWindowOrdinal; }
+
+  /// Re-baselines every processor's open adaptation window against the
+  /// current counters (Engine::resetStats calls this after zeroing them,
+  /// so window deltas never straddle a reset). Learned thresholds persist.
+  void rebaselineAdaptiveWindows();
+
   /// True when nothing can make progress: no current tasks, all queues
   /// empty, and no stealable lazy seams.
   bool quiescent(const Engine &E) const;
@@ -117,10 +140,21 @@ public:
 private:
   unsigned minClockProcessor() const;
 
+  /// Closes \p P's adaptation window: reads the window's signals, feeds
+  /// them through decideStep/applyStep (or an injected adapt-clamp /
+  /// adapt-reset fault), charges cost::AdaptiveWindow, and opens the next
+  /// window.
+  void closeAdaptiveWindow(Engine &E, Processor &P);
+  void beginAdaptiveWindow(Processor &P);
+
   std::vector<Processor> Procs;
   uint64_t Quantum;
   uint64_t MaxRunCycles;
   StealOrder Order;
+  AdaptiveTConfig Adaptive;
+  /// Machine-wide count of closed windows; the deterministic ordinal
+  /// fault-plan adapt-* clauses key on.
+  uint64_t AdaptWindowOrdinal = 0;
 };
 
 } // namespace mult

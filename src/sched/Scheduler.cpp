@@ -117,6 +117,8 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
     if (E.faults().armed() && E.faults().shouldFailSteal()) {
       ++S.StealAttempts;
       ++S.StealsFailed;
+      ++P.StealAttempts;
+      ++P.StealsFailed;
       Cycles += cost::QueueLockHold;
       E.noteFault(P, FaultKind::StealFail, Victim.Id);
       if (Tr.enabled())
@@ -126,6 +128,7 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
     }
     for (;;) {
       ++S.StealAttempts;
+      ++P.StealAttempts;
       TaskId Id =
           FromNewQueue
               ? Victim.Queues.stealNew(P.Clock + Cycles, Cycles,
@@ -134,6 +137,7 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
                                              M.stealOrder());
       if (Id == InvalidTask) {
         ++S.StealsFailed;
+        ++P.StealsFailed;
         if (Tr.enabled())
           Tr.record(TraceEventKind::StealAttempt, P.Id, P.Clock + Cycles,
                     Victim.Id, 0);
@@ -141,12 +145,14 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
       }
       TaskId Got = Accept(Id, FromNewQueue, /*Stolen=*/true);
       if (Got != InvalidTask) {
+        ++Victim.StolenFrom;
         if (Tr.enabled())
           Tr.record(TraceEventKind::StealAttempt, P.Id, P.Clock, Victim.Id,
                     1);
         return Got;
       }
       ++S.StealsFailed; // popped a task the vet parked or dropped
+      ++P.StealsFailed;
       if (Tr.enabled())
         Tr.record(TraceEventKind::StealAttempt, P.Id, P.Clock + Cycles,
                   Victim.Id, 0);
@@ -168,8 +174,10 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
       return Got;
   }
 
-  // 5. Lazy futures: split a provisionally inlined task.
-  if (E.config().LazyFutures && !E.seams().empty()) {
+  // 5. Lazy futures: split a provisionally inlined task. Seams exist when
+  // the global lazy mode is on *or* a site policy made one future lazy, so
+  // gate on the seam deque itself (empty when neither is in play).
+  if (!E.seams().empty()) {
     P.charge(Cycles);
     Cycles = 0;
     auto R = lazyfutures::trySteal(E, P);

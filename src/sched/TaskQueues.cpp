@@ -17,6 +17,8 @@ uint64_t TaskQueues::pushNew(TaskId T, uint64_t Now) {
   uint64_t C = NewLock.acquire(Now, cost::QueueLockHold);
   NewQ.push_back(T);
   NewHighWater = std::max(NewHighWater, NewQ.size());
+  ++NewPushes;
+  noteDepth();
   return C + 2;
 }
 
@@ -24,6 +26,7 @@ uint64_t TaskQueues::pushSuspended(TaskId T, uint64_t Now) {
   uint64_t C = SuspLock.acquire(Now, cost::QueueLockHold);
   SuspQ.push_back(T);
   SuspHighWater = std::max(SuspHighWater, SuspQ.size());
+  noteDepth();
   return C + 2;
 }
 

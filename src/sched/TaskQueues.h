@@ -52,23 +52,47 @@ public:
   /// section 3: "the number of tasks on that processor's queues").
   size_t depth() const { return NewQ.size() + SuspQ.size(); }
 
-  /// \name Depth high-water marks (since the last resetHighWater)
+  /// \name Depth high-water marks
+  ///
+  /// Two independent sets of marks over the same queues: the *run-wide*
+  /// marks feed the metrics report and reset only with the engine's
+  /// statistics (resetHighWater, called from Engine::resetStats), while
+  /// the *window* marks feed the adaptive threshold controller and reset
+  /// every adaptation window (resetWindowHighWater). Both reset to the
+  /// queues' current sizes, not zero — tasks already queued are still
+  /// "high water" for the next interval. resetHighWater also resets the
+  /// window marks so a stats reset starts both views from the same state.
   /// @{
   size_t newHighWater() const { return NewHighWater; }
   size_t suspendedHighWater() const { return SuspHighWater; }
+  /// Max of depth() (new + suspended) within the current window.
+  size_t windowHighWater() const { return WindowHighWater; }
+  /// Tasks ever pushed on the new queue (monotonic; window deltas are
+  /// taken by the adaptive controller).
+  uint64_t newPushes() const { return NewPushes; }
   void resetHighWater() {
     NewHighWater = NewQ.size();
     SuspHighWater = SuspQ.size();
+    WindowHighWater = depth();
   }
+  void resetWindowHighWater() { WindowHighWater = depth(); }
   /// @}
 
 private:
+  void noteDepth() {
+    size_t D = depth();
+    if (D > WindowHighWater)
+      WindowHighWater = D;
+  }
+
   std::deque<TaskId> NewQ;
   std::deque<TaskId> SuspQ;
   VirtualLock NewLock;
   VirtualLock SuspLock;
   size_t NewHighWater = 0;
   size_t SuspHighWater = 0;
+  size_t WindowHighWater = 0;
+  uint64_t NewPushes = 0;
 };
 
 } // namespace mult

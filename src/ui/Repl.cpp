@@ -71,7 +71,7 @@ bool Repl::processLine(std::string_view Line) {
     else if (Cmd == "trace")
       cmdTrace(Arg);
     else if (Cmd == "profile")
-      cmdProfile();
+      cmdProfile(Arg);
     else if (Cmd == "faults")
       cmdFaults(Arg);
     else if (Cmd == "exit" || Cmd == "quit")
@@ -130,6 +130,9 @@ void Repl::cmdHelp() {
          "                   (benches do this per run into $MULT_TRACE_DIR)\n"
          "  :profile         critical-path profile of the last traced run\n"
          "                   (work, span, parallelism, per-future-site)\n"
+         "  :profile FILE    derive per-future-site policies (eager/\n"
+         "                   inline/lazy) from that profile and write them\n"
+         "                   to FILE (next run: MULT_SITE_POLICIES=FILE)\n"
          "  :faults [SPEC]   show, arm (SPEC, see DESIGN.md or\n"
          "                   MULT_FAULTS), or disarm (:faults off) the\n"
          "                   deterministic fault injector\n"
@@ -229,14 +232,33 @@ void Repl::cmdStats() {
   dumpMetrics(Out, R);
 }
 
-void Repl::cmdProfile() {
+void Repl::cmdProfile(std::string_view Arg) {
   if (!E.tracer().enabled() && E.tracer().size() == 0) {
     Out << ";; tracing is off (:trace on, rerun, then :profile)\n";
     return;
   }
   CriticalPathReport R = analyzeCriticalPath(E.tracer());
-  dumpProfile(Out, R, E.machine().numProcessors(),
-              E.stats().ElapsedCycles);
+  if (Arg.empty()) {
+    dumpProfile(Out, R, E.machine().numProcessors(),
+                E.stats().ElapsedCycles);
+    return;
+  }
+  // `:profile FILE` closes the feedback loop: derive a site-policy table
+  // from the critical path and write it where MULT_SITE_POLICIES (or
+  // EngineConfig::SitePolicies) can load it on the next run.
+  if (!R.Ok) {
+    Out << ";; profile unavailable: " << R.Error << '\n';
+    return;
+  }
+  SitePolicyTable T = deriveSitePolicies(R);
+  std::string Path(Arg);
+  std::string Err;
+  if (!T.saveFile(Path, Err)) {
+    Out << ";; " << Err << '\n';
+    return;
+  }
+  Out << ";; wrote " << T.size() << " site policies to " << Path
+      << " (load with MULT_SITE_POLICIES)\n";
 }
 
 void Repl::cmdFaults(std::string_view Arg) {

@@ -46,7 +46,7 @@ private:
   void cmdKill(std::string_view Arg);
   void cmdStats();
   void cmdTrace(std::string_view Arg);
-  void cmdProfile();
+  void cmdProfile(std::string_view Arg);
   void cmdFaults(std::string_view Arg);
 
   Engine &E;

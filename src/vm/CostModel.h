@@ -96,6 +96,14 @@ inline constexpr uint64_t QueueEmptyCheck = 2;
 inline constexpr uint64_t StealProbe = QueueEmptyCheck + 1;
 inline constexpr uint64_t SeamStealBase = 24; ///< plus 1 per 4 copied words
 inline constexpr uint64_t IdleTick = 8;
+/// Closing one adaptive-threshold window (sched/Adaptive.h). Charged as
+/// zero: the counters are ones the simulated hardware already maintains
+/// and the decision is a handful of ALU ops amortized over thousands of
+/// cycles, riding a scheduler boundary the machine already pays for.
+/// Keeping it free also keeps an adaptive run whose controller never
+/// moves T cycle-identical to the matching static run, which is what the
+/// bench_inlining_threshold ablation isolates.
+inline constexpr uint64_t AdaptiveWindow = 0;
 inline constexpr uint64_t TaskFinish = 6;
 
 // Group/exception machinery.

@@ -57,6 +57,11 @@ const char *const PlanTemplates[] = {
     "seed=%SEED%; steal-fail=0.4",
     "seed=%SEED%; queue-cap=2; stall=1@500+3000",
     "seed=%SEED%; spawn-error=2; touch-error=5",
+    // Perturb the adaptive inlining-threshold controller: clamp T to the
+    // extremes and wipe pending votes mid-run. Window ordinals are
+    // machine-lifetime, so low ones may land in the prelude — the spread
+    // covers both prelude and user-code windows deterministically.
+    "seed=%SEED%; adapt-clamp=2@0,6@16,12@2; adapt-reset=9; steal-fail=0.2",
 };
 
 std::string planFor(const char *Template, uint64_t Seed) {
@@ -79,6 +84,11 @@ std::string runOnce(const char *Program, const std::string &Plan) {
   EngineConfig C = config(4);
   C.HeapWords = 1 << 16; // small enough that real collections interleave
   C.EnableTracing = true;
+  // Run the adaptive threshold controller under chaos too: short windows
+  // so plenty close per run, giving adapt-clamp/adapt-reset clauses (and
+  // every other fault) a moving controller to perturb.
+  C.AdaptiveInline = true;
+  C.AdaptiveWindowCycles = 512;
   C.Faults = Plan;
   Engine E(C);
 
@@ -110,12 +120,17 @@ std::string runOnce(const char *Program, const std::string &Plan) {
   EXPECT_EQ(evalFixnum(E, "(+ 40 2)"), 42)
       << "engine unusable after the chaos run";
 
-  // Invariant: busy + idle + GC cycles tile every processor clock.
+  // Invariant: busy + idle + GC cycles tile every processor clock, and
+  // the adaptive threshold stays in bounds even when faults clamp it.
   for (unsigned I = 0; I < 4; ++I) {
     const Processor &P = E.machine().processor(I);
     EXPECT_EQ(P.ClockAtReset + P.BusyCycles + P.IdleCycles + P.GcCycles,
               P.Clock)
         << "cycle accounting leak on processor " << I;
+    EXPECT_GE(P.Adapt.T, E.machine().adaptiveConfig().MinT)
+        << "adaptive T below MinT on processor " << I;
+    EXPECT_LE(P.Adapt.T, E.machine().adaptiveConfig().MaxT)
+        << "adaptive T above MaxT on processor " << I;
   }
 
   // Invariant: trace bookkeeping balances, and every injected fault was
@@ -142,6 +157,16 @@ std::string runOnce(const char *Program, const std::string &Plan) {
       static_cast<unsigned long long>(S.StealAttempts),
       static_cast<unsigned long long>(E.gcStats().Collections),
       static_cast<unsigned long long>(S.HeapExhaustedStops));
+  // Controller state is part of the reproducibility contract: same seed
+  // and plan must land every processor on the same threshold.
+  Transcript += strFormat(
+      "adaptwindows=%llu raises=%llu lowers=%llu",
+      static_cast<unsigned long long>(S.AdaptWindows),
+      static_cast<unsigned long long>(S.ThresholdRaises),
+      static_cast<unsigned long long>(S.ThresholdLowers));
+  for (unsigned I = 0; I < 4; ++I)
+    Transcript += strFormat(" t%u=%u", I, E.machine().processor(I).Adapt.T);
+  Transcript += "\n";
   return Transcript;
 }
 
@@ -184,7 +209,8 @@ TEST(ChaosTest, KitchenSinkPlanNeverCrashesTheHost) {
   std::string Plan =
       "seed=99; alloc-fail-every=11; gc-at=100,1000,5000; steal-fail=0.8;"
       " queue-cap=1; spawn-error=1,3; touch-error=2,7;"
-      " stall=0@50+500,2@1000+2000,3@1+1";
+      " stall=0@50+500,2@1000+2000,3@1+1;"
+      " adapt-clamp=1@16,4@0,8@16; adapt-reset=2,6";
   for (const char *Program : Programs) {
     SCOPED_TRACE(Program);
     runOnce(Program, Plan);

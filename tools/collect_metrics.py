@@ -16,7 +16,8 @@ virtual time), so any drift between commits is a real semantic or
 cost-model change, never host noise. The same holds under an armed fault
 plan: fault counts and cycles are seed-deterministic. This script:
 
-  * runs the four paper-table benches and collects the tag -> cycles map,
+  * runs the paper-table benches plus the inlining-threshold sweep and
+    collects the tag -> cycles map,
   * writes it to <out-dir>/BENCH_<sha>.json for the current commit,
   * optionally diffs it against a golden file (--check, exit 1 on ANY
     drift -- virtual time has no tolerance band),
@@ -48,6 +49,7 @@ BENCHES = [
     "bench_table2_boyer_seq",
     "bench_table3_boyer_par",
     "bench_table4_apps",
+    "bench_inlining_threshold",
 ]
 
 METRIC_LINE = re.compile(r"^;; virtual-cycles: (\S+) (\d+)\s*$")
