@@ -103,6 +103,14 @@ inline void reportRun(Engine &E, const std::string &Tag) {
                   Tag.c_str(),
                   static_cast<unsigned long long>(
                       E.stats().DeadlocksDetected));
+      std::printf(";; fault-metrics: %s procs-killed %llu\n", Tag.c_str(),
+                  static_cast<unsigned long long>(E.stats().ProcsKilled));
+      std::printf(";; fault-metrics: %s tasks-recovered %llu\n", Tag.c_str(),
+                  static_cast<unsigned long long>(E.stats().TasksRecovered));
+      std::printf(";; fault-metrics: %s tasks-orphaned %llu\n", Tag.c_str(),
+                  static_cast<unsigned long long>(E.stats().TasksOrphaned));
+      std::printf(";; fault-metrics: %s recovery-cycles %llu\n", Tag.c_str(),
+                  static_cast<unsigned long long>(E.stats().RecoveryCycles));
     }
   }
   if (profileRequested()) {

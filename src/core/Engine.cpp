@@ -60,6 +60,9 @@ Engine::Engine(const EngineConfig &Config)
                  Config.MaxRunCycles, Config.StealPolicy,
                  adaptiveConfig(Config)),
       Rng(Config.RandomSeed) {
+  if (const char *Env = std::getenv("MULT_RECOVERY"))
+    Cfg.Recovery = !(Env[0] == '0' && Env[1] == '\0') &&
+                   std::string_view(Env) != "off";
   TheTracer.setEnabled(Config.EnableTracing);
   if (!Config.TraceSink.empty()) {
     std::string Err;
@@ -320,10 +323,11 @@ Object *Engine::tryAlloc(Processor &P, TypeTag Tag, uint32_t SizeWords,
 }
 
 Object *Engine::allocOrGc(TypeTag Tag, uint32_t SizeWords, uint8_t Flags) {
+  Processor &P0 = TheMachine.homeFor(0);
   for (int Attempt = 0; Attempt < 2; ++Attempt) {
-    Heap::AllocResult R = TheHeap.allocate(
-        0, TheMachine.processor(0).Clock, Tag, SizeWords, Flags);
-    TheMachine.processor(0).charge(R.Cycles);
+    Heap::AllocResult R =
+        TheHeap.allocate(P0.Id, P0.Clock, Tag, SizeWords, Flags);
+    P0.charge(R.Cycles);
     if (R.Obj)
       return R.Obj;
     if (!collectGarbage())
@@ -387,6 +391,8 @@ void Engine::scanTask(Task &T, const RootVisitor &Visit) {
   Visit(T.DynEnv);
   Visit(T.ResultFuture);
   Visit(T.WakeValue);
+  Visit(T.SpawnClosure);
+  Visit(T.SpawnDynEnv);
   for (Frame &F : T.Frames)
     Visit(F.SeamFuture);
 }
@@ -509,15 +515,14 @@ EvalResult Engine::resumeGroup(GroupId Id, Value ResumeValue) {
       T->WakeValue = ResumeValue;
     }
     T->State = TaskState::Ready;
-    TheMachine.processor(T->LastProc)
-        .Queues.pushSuspended(T->Id, TheMachine.processor(T->LastProc).Clock);
+    Processor &Home = TheMachine.homeFor(T->LastProc);
+    Home.Queues.pushSuspended(T->Id, Home.Clock);
   }
   for (TaskId Parked : G->Parked) {
     if (Task *T = liveTask(Parked); T && T->State == TaskState::Stopped) {
       T->State = TaskState::Ready;
-      TheMachine.processor(T->LastProc)
-          .Queues.pushSuspended(T->Id,
-                                TheMachine.processor(T->LastProc).Clock);
+      Processor &Home = TheMachine.homeFor(T->LastProc);
+      Home.Queues.pushSuspended(T->Id, Home.Clock);
     }
   }
   G->Parked.clear();
@@ -553,6 +558,164 @@ void Engine::killGroup(GroupId Id) {
   StoppedStack.erase(
       std::remove(StoppedStack.begin(), StoppedStack.end(), Id),
       StoppedStack.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Fail-stop recovery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Why a lost task cannot be re-executed from its spawn lineage. The
+/// numeric values are the TaskOrphaned trace event's B payload.
+enum class OrphanReason : unsigned {
+  Recoverable = 0,
+  NoLineage = 1,     ///< seam-split continuation: no spawn closure exists
+  SemaphoreHeld = 2, ///< exclusion already observed by other tasks
+  SeamObserved = 3,  ///< a thief split this task's stack; re-running
+                     ///< would recompute frames the thief now owns
+  DidIo = 4,         ///< output already reached the console
+  Disabled = 5,      ///< EngineConfig::Recovery is off
+};
+
+const char *orphanReasonName(OrphanReason R) {
+  switch (R) {
+  case OrphanReason::Recoverable:
+    return "recoverable";
+  case OrphanReason::NoLineage:
+    return "no spawn lineage";
+  case OrphanReason::SemaphoreHeld:
+    return "holds a semaphore";
+  case OrphanReason::SeamObserved:
+    return "stack split by a seam steal";
+  case OrphanReason::DidIo:
+    return "performed I/O";
+  case OrphanReason::Disabled:
+    return "recovery disabled";
+  }
+  return "?";
+}
+
+} // namespace
+
+void Engine::recoverProcessor(Processor &P, Processor &Dead) {
+  ++Stats.ProcsKilled;
+
+  // Everything the processor took down with it: the task it was running
+  // plus its queued backlog. The drain itself costs no virtual time —
+  // recovery is scheduler firmware, not program work; the price the
+  // program pays is the re-executed cycles, charged as the re-spawned
+  // tasks run (EngineStats::RecoveryCycles).
+  std::vector<TaskId> Lost;
+  if (Dead.Current != InvalidTask) {
+    Lost.push_back(Dead.Current);
+    Dead.Current = InvalidTask;
+  }
+  uint64_t Scratch = 0;
+  for (TaskId T; (T = Dead.Queues.popNew(Dead.Clock, Scratch)) != InvalidTask;)
+    Lost.push_back(T);
+  for (TaskId T;
+       (T = Dead.Queues.popSuspended(Dead.Clock, Scratch)) != InvalidTask;)
+    Lost.push_back(T);
+
+  if (TheTracer.enabled())
+    TheTracer.record(TraceEventKind::ProcKilled, P.Id, P.Clock, Dead.Id,
+                     Lost.size(), Stats.ProcsKilled);
+
+  // Classify. A lost task is re-executable exactly when it still has its
+  // spawn lineage and no other task can have observed anything it did:
+  // plain memory writes are idempotent under the deterministic schedule
+  // (re-running stores the same values), but a held semaphore, a seam
+  // split (a thief owns part of the stack) or console output is an
+  // observation that re-execution would double (see DESIGN.md).
+  std::vector<Task *> Recover;
+  std::vector<std::pair<Task *, OrphanReason>> Orphans;
+  for (TaskId Id : Lost) {
+    Task *T = liveTask(Id);
+    if (!T)
+      continue; // stale id; vetting would have dropped it on dispatch
+    Group &G = group(T->Group);
+    if (G.State == GroupState::Killed) {
+      if (TheTracer.enabled())
+        TheTracer.record(TraceEventKind::TaskDropped, P.Id, P.Clock, T->Id);
+      finishTask(*T);
+      continue;
+    }
+    if (G.State == GroupState::Stopped) {
+      // The group is already in the breakloop; park the task so a resume
+      // re-enqueues it like any other sibling.
+      T->State = TaskState::Stopped;
+      G.Parked.push_back(T->Id);
+      if (TheTracer.enabled())
+        TheTracer.record(TraceEventKind::TaskParked, P.Id, P.Clock, T->Id);
+      continue;
+    }
+    OrphanReason Why = OrphanReason::Recoverable;
+    if (!Cfg.Recovery)
+      Why = OrphanReason::Disabled;
+    else if (!T->SpawnClosure.isObject())
+      Why = OrphanReason::NoLineage;
+    else if (T->SemaphoresHeld > 0)
+      Why = OrphanReason::SemaphoreHeld;
+    else if (T->BaseFrame > 0)
+      Why = OrphanReason::SeamObserved;
+    else if (T->DidIo)
+      Why = OrphanReason::DidIo;
+    if (Why == OrphanReason::Recoverable)
+      Recover.push_back(T);
+    else
+      Orphans.emplace_back(T, Why);
+  }
+
+  // Re-spawn the recoverable tasks round-robin over the survivors,
+  // starting after the dead processor so the load spreads the same way
+  // every replay. initForThunk on the existing task keeps its id, group
+  // and result future, so tasks blocked on it resolve as if nothing
+  // happened — only the cycles are paid twice.
+  unsigned N = TheMachine.numProcessors();
+  unsigned Next = Dead.Id;
+  for (Task *T : Recover) {
+    do
+      Next = (Next + 1) % N;
+    while (TheMachine.processor(Next).Dead);
+    Processor &Home = TheMachine.processor(Next);
+    T->initForThunk(T->Id, T->Group, T->SpawnClosure, T->ResultFuture,
+                    T->SpawnDynEnv, Home.Id);
+    T->Recovered = true;
+    Home.Queues.pushNew(T->Id, Home.Clock);
+    ++Stats.TasksRecovered;
+    if (TheTracer.enabled())
+      TheTracer.record(TraceEventKind::TaskRecovered, P.Id, P.Clock, T->Id,
+                       Home.Id, Dead.Id);
+  }
+
+  // Unrecoverable tasks stop their group with a breakloop-inspectable
+  // condition naming every orphaned future, mirroring the heap-exhausted
+  // degradation. The simulator still holds the orphans' state, so the
+  // stop is restartable: resume deliberately breaks the fail-stop
+  // fiction and continues them on a survivor.
+  for (size_t I = 0; I < Orphans.size(); ++I) {
+    auto [T, Why] = Orphans[I];
+    ++Stats.TasksOrphaned;
+    if (TheTracer.enabled())
+      TheTracer.record(TraceEventKind::TaskOrphaned, P.Id, P.Clock, T->Id,
+                       static_cast<uint64_t>(Why), Dead.Id);
+    Group &G = group(T->Group);
+    if (G.State == GroupState::Stopped) {
+      // A prior orphan already stopped this group; join its parked set
+      // and append to the condition so the breakloop names every orphan.
+      T->State = TaskState::Stopped;
+      G.Parked.push_back(T->Id);
+      G.Condition += strFormat(", task %u (%s)", taskIndex(T->Id),
+                               orphanReasonName(Why));
+      continue;
+    }
+    stopGroupRestartable(
+        P, *T,
+        strFormat("processor-lost: processor %u failed; orphaned futures: "
+                  "task %u (%s)",
+                  Dead.Id, taskIndex(T->Id), orphanReasonName(Why)));
+  }
 }
 
 std::string Engine::describeWaitGraph() {
@@ -661,7 +824,7 @@ void Engine::beginRun(Value Root, GroupId RootGroup) {
   RootClock = 0;
   RootDone = Root.isFuture() ? Root.pointee()->futureResolved() : true;
   if (RootDone)
-    RootClock = TheMachine.processor(0).Clock;
+    RootClock = TheMachine.homeFor(0).Clock;
 }
 
 Value Engine::rootValue() const {
@@ -745,12 +908,13 @@ EvalResult Engine::runTopLevel(Code *TopCode, std::string_view Banner) {
   // Re-read the future: allocating the closure may have collected.
   Fut = G.RootFuture.pointee();
 
+  // Launch on processor 0 — or, if it fail-stopped, the nearest survivor.
+  Processor &P0 = TheMachine.homeFor(0);
   TaskId Root = newTask(Gid, Value::object(Clo), G.RootFuture,
-                        Value::nil(), 0);
+                        Value::nil(), P0.Id);
   Fut->setSlot(Object::FutTaskId,
                Value::fixnum(static_cast<int64_t>(taskIndex(Root))));
 
-  Processor &P0 = TheMachine.processor(0);
   P0.charge(P0.Queues.pushNew(Root, P0.Clock));
 
   beginRun(G.RootFuture, Gid);

@@ -118,6 +118,12 @@ struct EngineConfig {
   /// specs are reported to stderr at construction and ignored. The plan
   /// arms after bootstrap, so the prelude always loads cleanly.
   std::string Faults;
+  /// Lineage-based task recovery after a proc-kill fault: lost futures
+  /// with no observed side effects are re-spawned on survivors. When off
+  /// (MULT_RECOVERY=0), every task lost to a fail-stop is orphaned and
+  /// its group stops with a `processor-lost` condition. Irrelevant when
+  /// no proc-kill clause ever fires.
+  bool Recovery = true;
 };
 
 /// Result of Engine::eval and friends.
@@ -277,6 +283,14 @@ public:
     return Cfg.InlineThreshold;
   }
   /// @}
+
+  /// Fail-stop recovery for a just-killed processor \p Dead: drains its
+  /// queues, re-spawns every recoverable lost task from its spawn lineage
+  /// onto survivors, and stops the groups of unrecoverable ones with a
+  /// `processor-lost` condition. Called by Machine::run right after it
+  /// marks \p Dead dead; \p P is the (live) processor that observed the
+  /// kill and pays the virtual-time cost of the recovery scan.
+  void recoverProcessor(Processor &P, Processor &Dead);
 
   /// Renders the task → future wait-for graph from scheduler state:
   /// every blocked task, what it waits on, and any wait cycle found.

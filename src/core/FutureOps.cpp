@@ -221,14 +221,15 @@ void futureops::resolveFuture(Engine &E, Processor &P, Object *Fut,
     Waiter->State = TaskState::Ready;
     Waiter->BlockedOn = Value::nil();
     // Paper: woken tasks go to the suspended queue of the processor they
-    // were running on when they blocked.
-    Processor &Home = E.machine().processor(Waiter->LastProc);
+    // were running on when they blocked — unless that processor died, in
+    // which case the nearest survivor adopts them.
+    Processor &Home = E.machine().homeFor(Waiter->LastProc);
     Cycles += Home.Queues.pushSuspended(Id, P.Clock + Cycles);
     Cycles += cost::ResolveWaiter;
     ++Woken;
     if (E.tracer().enabled())
       E.tracer().record(TraceEventKind::TaskResume, P.Id, P.Clock + Cycles,
-                        Waiter->Id, Waiter->LastProc, P.Current);
+                        Waiter->Id, Home.Id, P.Current);
   }
   P.charge(Cycles);
   if (E.tracer().enabled())

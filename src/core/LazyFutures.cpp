@@ -47,6 +47,16 @@ lazyfutures::StealResult lazyfutures::trySteal(Engine &E, Processor &P) {
       return StealResult{StealResult::Kind::Nothing, InvalidTask};
     }
 
+    // Injected split failure: the thief found a splittable seam but backs
+    // off (modelling a lost race on the victim's stack), leaving the seam
+    // with its owner. Graceful degradation: the owner later returns through
+    // the seam at inline cost, so the program still completes.
+    if (E.faults().armed() && E.faults().shouldFailSeamSplit()) {
+      P.charge(cost::QueueLockHold);
+      E.noteFault(P, FaultKind::SeamSplitFail, Ref.Serial);
+      return StealResult{StealResult::Kind::Nothing, InvalidTask};
+    }
+
     // Allocate the future the stolen parent will see as the child's value.
     uint64_t Cycles = 0;
     Object *Fut =

@@ -65,11 +65,12 @@ void sem::v(Engine &E, Processor &P, Object *Sem) {
     Waiter->HasWakeAction = true;
     Waiter->WakePop = 1;
     Waiter->WakeValue = Value::trueV();
-    Processor &Home = E.machine().processor(Waiter->LastProc);
+    ++Waiter->SemaphoresHeld; // the V hands the semaphore to this waiter
+    Processor &Home = E.machine().homeFor(Waiter->LastProc);
     P.charge(Home.Queues.pushSuspended(Id, P.Clock) + 4);
     if (E.tracer().enabled())
       E.tracer().record(TraceEventKind::TaskResume, P.Id, P.Clock, Waiter->Id,
-                        Waiter->LastProc, P.Current);
+                        Home.Id, P.Current);
     return;
   }
   Sem->setSemaphoreCount(Sem->semaphoreCount() + 1);

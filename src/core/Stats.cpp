@@ -38,6 +38,10 @@ void dumpStats(OutStream &OS, const EngineStats &S) {
     OS << "robustness: " << S.FaultsInjected << " faults injected, "
        << S.HeapExhaustedStops << " heap-exhausted stops, "
        << S.DeadlocksDetected << " deadlocks detected\n";
+  if (S.ProcsKilled || S.TasksRecovered || S.TasksOrphaned)
+    OS << "recovery: " << S.ProcsKilled << " procs killed, "
+       << S.TasksRecovered << " tasks recovered, " << S.TasksOrphaned
+       << " orphaned, " << S.RecoveryCycles << " recovery cycles\n";
   OS << strFormat("last run: %llu cycles = %.4f virtual seconds\n",
                   static_cast<unsigned long long>(S.ElapsedCycles),
                   S.elapsedSeconds());

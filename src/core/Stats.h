@@ -70,6 +70,12 @@ struct EngineStats {
   uint64_t HeapExhaustedStops = 0;  ///< groups stopped on heap-exhausted
   uint64_t DeadlocksDetected = 0;   ///< quiescent runs with root unresolved
 
+  // Fail-stop recovery (proc-kill clauses; zero unless one fired).
+  uint64_t ProcsKilled = 0;    ///< processors fail-stopped
+  uint64_t TasksRecovered = 0; ///< lost tasks re-spawned from lineage
+  uint64_t TasksOrphaned = 0;  ///< lost tasks with observed side effects
+  uint64_t RecoveryCycles = 0; ///< busy cycles re-executing recovered tasks
+
   // Execution.
   uint64_t Instructions = 0;   ///< bytecode instructions executed
   uint64_t CyclesExecuted = 0; ///< virtual NS32332 instructions charged

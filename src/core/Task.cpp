@@ -38,6 +38,11 @@ void Task::initForThunk(TaskId NewId, GroupId G, Value Closure, Value Result,
   StopPop = 0;
   StopRestartable = false;
   UnstolenSeams = 0;
+  BaseFrame = 0;
+  SpawnClosure = Closure;
+  SpawnDynEnv = InheritedDynEnv;
+  SemaphoresHeld = 0;
+  DidIo = false;
 }
 
 void Task::clearForRecycle() {
@@ -54,4 +59,10 @@ void Task::clearForRecycle() {
   StopCondition.clear();
   StopRestartable = false;
   UnstolenSeams = 0;
+  BaseFrame = 0;
+  SpawnClosure = Value::nil();
+  SpawnDynEnv = Value::nil();
+  SemaphoresHeld = 0;
+  DidIo = false;
+  Recovered = false;
 }

@@ -113,6 +113,26 @@ public:
   /// the thief's parent-continuation task and must never be copied again.
   uint32_t BaseFrame = 0;
 
+  /// Spawn lineage: the closure this task was spawned with (its code and
+  /// captured arguments), kept so a task lost to a fail-stopped processor
+  /// can be re-executed from scratch on a survivor. Nil for tasks that
+  /// were not born from a closure (seam-split parent continuations own a
+  /// mid-flight stack segment that cannot be reconstructed).
+  Value SpawnClosure = Value::nil();
+
+  /// The deep-binding chain inherited at spawn time; a lineage re-spawn
+  /// restarts with this, not the mid-flight DynEnv.
+  Value SpawnDynEnv = Value::nil();
+
+  /// Observed side effects that make re-execution unsafe (see DESIGN.md,
+  /// "Processor fail-stop and recovery").
+  uint32_t SemaphoresHeld = 0; ///< semaphore-p acquisitions not yet V'd
+  bool DidIo = false;          ///< wrote to the output stream
+
+  /// True while this task is a lineage re-spawn after a proc-kill; its
+  /// busy cycles are charged to EngineStats::RecoveryCycles.
+  bool Recovered = false;
+
   /// Prepares this (possibly recycled) task to run \p Closure as a fresh
   /// nullary activation.
   void initForThunk(TaskId NewId, GroupId G, Value Closure, Value Result,

@@ -34,6 +34,10 @@ const char *faultKindName(FaultKind K) {
     return "adapt-clamp";
   case FaultKind::AdaptReset:
     return "adapt-reset";
+  case FaultKind::ProcKill:
+    return "proc-kill";
+  case FaultKind::SeamSplitFail:
+    return "seam-split-fail";
   }
   return "unknown-fault";
 }
@@ -42,7 +46,8 @@ bool FaultPlan::empty() const {
   return AllocFailAt.empty() && AllocFailEvery == 0 && GcAtCycles.empty() &&
          SpawnErrorAt.empty() && TouchErrorAt.empty() && StealFailProb == 0.0 &&
          StealFailAt.empty() && !QueueCap && Stalls.empty() &&
-         AdaptClamps.empty() && AdaptResetAt.empty();
+         AdaptClamps.empty() && AdaptResetAt.empty() && ProcKills.empty() &&
+         SeamSplitFailAt.empty();
 }
 
 namespace {
@@ -147,6 +152,22 @@ std::string formatProb(double P) {
   return S;
 }
 
+/// One processor kill: PROC@CYCLES.
+bool parseProcKill(std::string_view S, FaultPlan::ProcKillAt &Out) {
+  size_t At = S.find('@');
+  if (At == std::string_view::npos)
+    return false;
+  uint64_t Proc, Cycles;
+  if (!parseU64(trim(S.substr(0, At)), Proc) ||
+      !parseU64(trim(S.substr(At + 1)), Cycles))
+    return false;
+  if (Proc > 0xffff)
+    return false;
+  Out.Proc = unsigned(Proc);
+  Out.AtCycles = Cycles;
+  return true;
+}
+
 /// One adapt clamp: WINDOW@VALUE.
 bool parseAdaptClamp(std::string_view S, FaultPlan::AdaptClampAt &Out) {
   size_t At = S.find('@');
@@ -213,6 +234,18 @@ std::string FaultPlan::format() const {
   }
   if (!AdaptResetAt.empty())
     Clause("adapt-reset=" + joinList(AdaptResetAt));
+  if (!ProcKills.empty()) {
+    std::string L;
+    for (size_t I = 0; I < ProcKills.size(); ++I) {
+      if (I)
+        L += ",";
+      L += strFormat("%u@%llu", ProcKills[I].Proc,
+                     (unsigned long long)ProcKills[I].AtCycles);
+    }
+    Clause("proc-kill=" + L);
+  }
+  if (!SeamSplitFailAt.empty())
+    Clause("seam-split-fail=" + joinList(SeamSplitFailAt));
   return S;
 }
 
@@ -283,6 +316,21 @@ bool FaultPlan::parse(std::string_view Spec, FaultPlan &Out, std::string &Err) {
       Ok = parseU64List(Val, Out.AdaptResetAt);
       Ok = Ok && std::find(Out.AdaptResetAt.begin(), Out.AdaptResetAt.end(),
                            0ull) == Out.AdaptResetAt.end();
+    } else if (Key == "proc-kill") {
+      Ok = !Val.empty();
+      for (std::string_view Part : splitOn(Val, ',')) {
+        ProcKillAt K;
+        if (!parseProcKill(trim(Part), K)) {
+          Ok = false;
+          break;
+        }
+        Out.ProcKills.push_back(K);
+      }
+    } else if (Key == "seam-split-fail") {
+      Ok = parseU64List(Val, Out.SeamSplitFailAt);
+      Ok = Ok && std::find(Out.SeamSplitFailAt.begin(),
+                           Out.SeamSplitFailAt.end(),
+                           0ull) == Out.SeamSplitFailAt.end();
     } else {
       Err = strFormat("unknown fault clause '%.*s'", int(Key.size()),
                       Key.data());
@@ -299,6 +347,7 @@ bool FaultPlan::parse(std::string_view Spec, FaultPlan &Out, std::string &Err) {
   sortUnique(Out.TouchErrorAt);
   sortUnique(Out.StealFailAt);
   sortUnique(Out.AdaptResetAt);
+  sortUnique(Out.SeamSplitFailAt);
   std::stable_sort(Out.Stalls.begin(), Out.Stalls.end(),
                    [](const StallWindow &A, const StallWindow &B) {
                      return A.Begin < B.Begin;
@@ -306,6 +355,10 @@ bool FaultPlan::parse(std::string_view Spec, FaultPlan &Out, std::string &Err) {
   std::stable_sort(Out.AdaptClamps.begin(), Out.AdaptClamps.end(),
                    [](const AdaptClampAt &A, const AdaptClampAt &B) {
                      return A.Window < B.Window;
+                   });
+  std::stable_sort(Out.ProcKills.begin(), Out.ProcKills.end(),
+                   [](const ProcKillAt &A, const ProcKillAt &B) {
+                     return A.AtCycles < B.AtCycles;
                    });
   return true;
 }

@@ -42,6 +42,18 @@
 ///   adapt-reset=N[,N...]     when the Nth adaptation window closes,
 ///                            discard its samples and pending votes (the
 ///                            threshold keeps its value)
+///   proc-kill=P@C[,P@C...]   fail-stop processor P once the run clock
+///                            reaches C (run-start-relative; consumed
+///                            once). The engine drains the dead
+///                            processor's queues onto survivors and
+///                            re-spawns lost futures from their spawn
+///                            lineage (see DESIGN.md, "Processor
+///                            fail-stop and recovery"); killing the last
+///                            live processor is ignored
+///   seam-split-fail=N[,N...] fail the Nth lazy-future seam-split
+///                            attempt (1-based): the thief backs off and
+///                            the seam stays with its owner, who later
+///                            evaluates it inline
 ///
 //===----------------------------------------------------------------------===//
 
@@ -68,6 +80,8 @@ enum class FaultKind : uint8_t {
   Stall,      ///< processor offline window
   AdaptClamp, ///< adaptive inlining threshold forced to a value
   AdaptReset, ///< adaptive controller window samples discarded
+  ProcKill,   ///< fail-stop processor crash at a virtual-time mark
+  SeamSplitFail, ///< forced lazy-future seam-split failure
 };
 
 /// Human-readable name of \p K ("alloc-fail", "stall", ...).
@@ -103,6 +117,14 @@ struct FaultPlan {
   };
   std::vector<AdaptClampAt> AdaptClamps; ///< sorted by Window
   std::vector<uint64_t> AdaptResetAt;    ///< sorted window ordinals
+
+  struct ProcKillAt {
+    unsigned Proc = 0;
+    uint64_t AtCycles = 0; ///< run-relative cycle the fail-stop fires
+  };
+  std::vector<ProcKillAt> ProcKills; ///< sorted by AtCycles
+
+  std::vector<uint64_t> SeamSplitFailAt; ///< sorted 1-based split ordinals
 
   /// True when no clause can ever fire.
   bool empty() const;

@@ -13,9 +13,9 @@ void FaultInjector::configure(const FaultPlan &P) {
   Plan = P;
   Armed = false;
   Rng = Prng(Plan.Seed);
-  AllocN = SpawnN = TouchN = StealN = 0;
-  AllocIdx = GcIdx = SpawnIdx = TouchIdx = StealIdx = 0;
-  AdaptClampIdx = AdaptResetIdx = 0;
+  AllocN = SpawnN = TouchN = StealN = SeamSplitN = 0;
+  AllocIdx = GcIdx = SpawnIdx = TouchIdx = StealIdx = SeamSplitIdx = 0;
+  AdaptClampIdx = AdaptResetIdx = ProcKillIdx = 0;
   StallDone.assign(Plan.Stalls.size(), false);
   PendingInjectedAllocFail = false;
 }
@@ -128,6 +128,22 @@ bool FaultInjector::takeAdaptReset(uint64_t Ordinal) {
   if (!Armed)
     return false;
   return hitOrdinal(Plan.AdaptResetAt, AdaptResetIdx, Ordinal);
+}
+
+bool FaultInjector::takeProcKill(uint64_t RelClock, unsigned &ProcOut) {
+  if (!Armed || ProcKillIdx >= Plan.ProcKills.size() ||
+      Plan.ProcKills[ProcKillIdx].AtCycles > RelClock)
+    return false;
+  ProcOut = Plan.ProcKills[ProcKillIdx].Proc;
+  ++ProcKillIdx;
+  return true;
+}
+
+bool FaultInjector::shouldFailSeamSplit() {
+  if (!Armed)
+    return false;
+  ++SeamSplitN;
+  return hitOrdinal(Plan.SeamSplitFailAt, SeamSplitIdx, SeamSplitN);
 }
 
 } // namespace mult

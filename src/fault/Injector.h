@@ -74,6 +74,15 @@ public:
   /// clause, consumes it and returns true.
   bool takeAdaptReset(uint64_t Ordinal);
 
+  /// If a proc-kill clause is due at or before run-relative cycle
+  /// \p RelClock, consumes it and returns true with \p ProcOut = the
+  /// processor to fail-stop. At most one kill per call; the machine
+  /// polls every quantum, so stacked kills fire on consecutive polls.
+  bool takeProcKill(uint64_t RelClock, unsigned &ProcOut);
+
+  /// True when the current lazy-future seam-split attempt must fail.
+  bool shouldFailSeamSplit();
+
 private:
   FaultPlan Plan;
   bool Armed = false;
@@ -83,11 +92,14 @@ private:
   uint64_t SpawnN = 0;
   uint64_t TouchN = 0;
   uint64_t StealN = 0;
+  uint64_t SeamSplitN = 0;
   size_t AllocIdx = 0; ///< next unconsumed entry of Plan.AllocFailAt
   size_t GcIdx = 0;    ///< next unconsumed entry of Plan.GcAtCycles
   size_t SpawnIdx = 0;
   size_t TouchIdx = 0;
   size_t StealIdx = 0;
+  size_t SeamSplitIdx = 0;
+  size_t ProcKillIdx = 0; ///< next unconsumed entry of Plan.ProcKills
   size_t AdaptClampIdx = 0; ///< next unconsumed entry of Plan.AdaptClamps
   size_t AdaptResetIdx = 0; ///< next unconsumed entry of Plan.AdaptResetAt
   std::vector<bool> StallDone; ///< parallel to Plan.Stalls

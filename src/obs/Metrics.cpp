@@ -48,6 +48,10 @@ MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
   R.FaultsInjected = S.FaultsInjected;
   R.HeapExhaustedStops = S.HeapExhaustedStops;
   R.DeadlocksDetected = S.DeadlocksDetected;
+  R.ProcsKilled = S.ProcsKilled;
+  R.TasksRecovered = S.TasksRecovered;
+  R.TasksOrphaned = S.TasksOrphaned;
+  R.RecoveryCycles = S.RecoveryCycles;
 
   // Task lifetimes from the trace: pair each finish with its creation.
   std::unordered_map<uint64_t, uint64_t> Born;
@@ -114,6 +118,13 @@ void mult::dumpMetrics(OutStream &OS, const MetricsReport &R) {
                     static_cast<unsigned long long>(R.FaultsInjected),
                     static_cast<unsigned long long>(R.HeapExhaustedStops),
                     static_cast<unsigned long long>(R.DeadlocksDetected));
+  if (R.ProcsKilled || R.TasksRecovered || R.TasksOrphaned)
+    OS << strFormat("recovery: %llu procs killed, %llu tasks recovered, "
+                    "%llu orphaned, %llu recovery cycles\n",
+                    static_cast<unsigned long long>(R.ProcsKilled),
+                    static_cast<unsigned long long>(R.TasksRecovered),
+                    static_cast<unsigned long long>(R.TasksOrphaned),
+                    static_cast<unsigned long long>(R.RecoveryCycles));
   if (R.TasksMeasured == 0) {
     OS << "task lifetimes: (enable tracing to measure)\n";
     return;

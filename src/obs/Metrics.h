@@ -82,6 +82,13 @@ struct MetricsReport {
   uint64_t HeapExhaustedStops = 0;
   uint64_t DeadlocksDetected = 0;
 
+  // Fail-stop recovery (all zero unless a proc-kill clause fired; the
+  // renderer omits the section in that case).
+  uint64_t ProcsKilled = 0;
+  uint64_t TasksRecovered = 0;
+  uint64_t TasksOrphaned = 0;
+  uint64_t RecoveryCycles = 0;
+
   /// Task lifetimes (create to finish, virtual cycles) in log2 buckets:
   /// bucket i counts lifetimes in [2^i, 2^(i+1)). Populated only when the
   /// run was traced; empty (all zero) otherwise.

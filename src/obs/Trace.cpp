@@ -285,6 +285,9 @@ const char *mult::traceEventKindName(TraceEventKind K) {
   case TraceEventKind::FaultInjected: return "fault-injected";
   case TraceEventKind::ThresholdChange: return "threshold-change";
   case TraceEventKind::PolicyDecision: return "policy-decision";
+  case TraceEventKind::ProcKilled: return "proc-killed";
+  case TraceEventKind::TaskRecovered: return "task-recovered";
+  case TraceEventKind::TaskOrphaned: return "task-orphaned";
   }
   return "unknown";
 }

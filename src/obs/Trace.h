@@ -100,6 +100,17 @@ enum class TraceEventKind : uint8_t {
   PolicyDecision, ///< A loaded site policy decided a `future`. A =
                   ///< SitePolicy (0 eager, 1 inline, 2 lazy), B =
                   ///< future-site id.
+  ProcKilled,     ///< A proc-kill clause fail-stopped a processor. A =
+                  ///< dead processor id, B = tasks lost (drained + the
+                  ///< task it was running), C = running kill count.
+  TaskRecovered,  ///< A lost task was re-spawned from its lineage onto a
+                  ///< survivor. A = task id, B = new home processor,
+                  ///< C = dead processor it was lost from.
+  TaskOrphaned,   ///< A lost task had observed side effects and could not
+                  ///< be recovered. A = task id, B = reason (1 no
+                  ///< lineage, 2 semaphore held, 3 seam observed,
+                  ///< 4 I/O performed, 5 recovery disabled),
+                  ///< C = dead processor it was lost from.
 };
 
 /// Human-readable name of \p K ("task-create", "steal-attempt", ...).

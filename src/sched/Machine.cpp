@@ -114,18 +114,37 @@ void Machine::setClocks(const std::vector<uint64_t> &C) {
 }
 
 unsigned Machine::minClockProcessor() const {
-  unsigned Best = 0;
-  for (unsigned I = 1; I < Procs.size(); ++I)
-    if (Procs[I].Clock < Procs[Best].Clock)
+  unsigned Best = ~0u;
+  for (unsigned I = 0; I < Procs.size(); ++I) {
+    if (Procs[I].Dead)
+      continue;
+    if (Best == ~0u || Procs[I].Clock < Procs[Best].Clock)
       Best = I;
-  return Best;
+  }
+  return Best; // the last live processor is never killed
 }
 
 bool Machine::quiescent(const Engine &E) const {
   for (const Processor &P : Procs)
-    if (P.Current != InvalidTask || P.Queues.depth() > 0)
+    if (!P.Dead && (P.Current != InvalidTask || P.Queues.depth() > 0))
       return false;
   return const_cast<Engine &>(E).seams().empty();
+}
+
+unsigned Machine::liveProcessors() const {
+  unsigned N = 0;
+  for (const Processor &P : Procs)
+    N += !P.Dead;
+  return N;
+}
+
+Processor &Machine::homeFor(unsigned Preferred) {
+  for (unsigned K = 0; K < Procs.size(); ++K) {
+    Processor &P = Procs[(Preferred + K) % Procs.size()];
+    if (!P.Dead)
+      return P;
+  }
+  return Procs[Preferred]; // unreachable: at least one processor lives
 }
 
 RunResult Machine::run(Engine &E, Value RootFuture) {
@@ -190,6 +209,37 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
       closeAdaptiveWindow(E, P);
 
     if (E.faults().armed()) {
+      // Fail-stop processor kill. Polled at quantum granularity on the
+      // min-clock processor, so a kill never lands mid-instruction or
+      // mid-GC; the schedule around it stays deterministic. Killing the
+      // last live processor (or a dead/bogus target) is consumed with no
+      // effect — an unrunnable machine helps nobody.
+      unsigned Victim;
+      if (E.faults().takeProcKill(P.Clock - Start, Victim)) {
+        if (Victim < Procs.size() && !Procs[Victim].Dead &&
+            liveProcessors() > 1) {
+          Processor &Dead = Procs[Victim];
+          Dead.Dead = true;
+          if (Dead.Current == InvalidTask && Dead.TraceIdling) {
+            Dead.TraceIdling = false;
+            E.tracer().record(TraceEventKind::IdleEnd, Dead.Id, Dead.Clock);
+          }
+          Processor &Obs = Procs[minClockProcessor()];
+          E.noteFault(Obs, FaultKind::ProcKill, Victim);
+          E.recoverProcessor(Obs, Dead);
+          if (RootStopped()) {
+            // An orphaned future stopped the root group: surface the
+            // processor-lost condition to the breakloop.
+            R.Status = RunStatus::GroupStopped;
+            R.StoppedGroup = E.rootGroup();
+            R.Error = E.group(E.rootGroup()).Condition;
+            R.ElapsedCycles = Obs.Clock - Start;
+            E.stats().ElapsedCycles = R.ElapsedCycles;
+            return R;
+          }
+        }
+        continue;
+      }
       // Processor stall window: the board drops off the bus for a while.
       // The skipped cycles are idle time, so the clock still tiles.
       uint64_t StallEndRel;
@@ -267,7 +317,15 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
         continue;
       }
 
-      switch (interpretTask(E, P, T, P.Clock + Quantum)) {
+      // Re-executed cycles of a lineage re-spawn are tallied separately:
+      // busy cycles a survivor spends redoing work the dead processor
+      // already paid for.
+      bool ChargeRecovery = T.Recovered;
+      uint64_t BusyBefore = ChargeRecovery ? P.BusyCycles : 0;
+      StepOutcome Step = interpretTask(E, P, T, P.Clock + Quantum);
+      if (ChargeRecovery)
+        E.stats().RecoveryCycles += P.BusyCycles - BusyBefore;
+      switch (Step) {
       case StepOutcome::TimeSlice:
         FruitlessGcs = 0;
         SameSpotTask = InvalidTask;

@@ -57,6 +57,13 @@ struct Processor {
   /// consulted only when EngineConfig::AdaptiveInline is set.
   AdaptiveTState Adapt;
 
+  /// Fail-stopped by a proc-kill fault: never stepped again, skipped as a
+  /// steal victim and as a wake-up home. Its queues are drained by
+  /// Engine::recoverProcessor the moment it dies, and it still follows GC
+  /// rendezvous clock jumps so busy + idle + GC cycles keep tiling its
+  /// (now frozen) clock.
+  bool Dead = false;
+
   /// True between the first fruitless dispatch and the next successful
   /// one; lets the run loop emit one idle-begin/idle-end trace pair per
   /// idle interval instead of one per idle tick.
@@ -136,6 +143,15 @@ public:
   /// True when nothing can make progress: no current tasks, all queues
   /// empty, and no stealable lazy seams.
   bool quiescent(const Engine &E) const;
+
+  /// Processors not fail-stopped by a proc-kill fault.
+  unsigned liveProcessors() const;
+
+  /// \p Preferred if it is alive, else the next live processor in id
+  /// order. Wake-ups (future resolve, semaphore V, group resume) route
+  /// through this so a task whose home processor died is re-homed instead
+  /// of sitting on a dead queue forever.
+  Processor &homeFor(unsigned Preferred);
 
 private:
   unsigned minClockProcessor() const;

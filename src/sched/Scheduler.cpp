@@ -159,17 +159,24 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
     }
   };
 
-  // 3. Steal from other processors' new queues.
+  // 3. Steal from other processors' new queues. Fail-stopped processors
+  // are skipped entirely (no probe, no StealAttempt): their queues were
+  // drained when they died, and a dead board answers no bus requests.
   for (unsigned K = 1; K < N; ++K) {
-    TaskId Got = StealFrom(M.processor((P.Id + K) % N), /*FromNewQueue=*/true);
+    Processor &Victim = M.processor((P.Id + K) % N);
+    if (Victim.Dead)
+      continue;
+    TaskId Got = StealFrom(Victim, /*FromNewQueue=*/true);
     if (Got != InvalidTask)
       return Got;
   }
 
   // 4. Steal from other processors' suspended queues.
   for (unsigned K = 1; K < N; ++K) {
-    TaskId Got =
-        StealFrom(M.processor((P.Id + K) % N), /*FromNewQueue=*/false);
+    Processor &Victim = M.processor((P.Id + K) % N);
+    if (Victim.Dead)
+      continue;
+    TaskId Got = StealFrom(Victim, /*FromNewQueue=*/false);
     if (Got != InvalidTask)
       return Got;
   }

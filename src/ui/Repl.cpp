@@ -68,6 +68,8 @@ bool Repl::processLine(std::string_view Line) {
       cmdKill(Arg);
     else if (Cmd == "stats")
       cmdStats();
+    else if (Cmd == "procs")
+      cmdProcs();
     else if (Cmd == "trace")
       cmdTrace(Arg);
     else if (Cmd == "profile")
@@ -122,6 +124,8 @@ void Repl::cmdHelp() {
          "  :kill [group]    kill the current (or named) group\n"
          "  :stats           execution statistics and metrics report\n"
          "                   (task-lifetime histogram needs tracing on)\n"
+         "  :procs           per-processor liveness, clocks and queue\n"
+         "                   depths (dead = fail-stopped by proc-kill)\n"
          "  :trace on|off    toggle the virtual-time event tracer\n"
          "  :trace ring:N|stream[:PATH]|unbounded\n"
          "                   choose the trace sink (stream writes binary\n"
@@ -230,6 +234,29 @@ void Repl::cmdStats() {
   MetricsReport R =
       buildMetrics(E.machine(), E.stats(), E.gcStats(), E.tracer());
   dumpMetrics(Out, R);
+}
+
+void Repl::cmdProcs() {
+  const Machine &M = E.machine();
+  Out << "  proc  state       clock  queue(new/susp)  busy/idle/gc\n";
+  for (unsigned I = 0; I < M.numProcessors(); ++I) {
+    const Processor &P = M.processor(I);
+    Out << strFormat("  %4u  %-5s %11llu  %zu/%zu  %llu/%llu/%llu\n", P.Id,
+                     P.Dead ? "dead" : "live",
+                     static_cast<unsigned long long>(P.Clock),
+                     P.Queues.newCount(), P.Queues.suspendedCount(),
+                     static_cast<unsigned long long>(P.BusyCycles),
+                     static_cast<unsigned long long>(P.IdleCycles),
+                     static_cast<unsigned long long>(P.GcCycles));
+  }
+  const EngineStats &S = E.stats();
+  if (S.ProcsKilled)
+    Out << strFormat(";; %llu processor(s) fail-stopped; %llu tasks "
+                     "recovered, %llu orphaned (%llu recovery cycles)\n",
+                     static_cast<unsigned long long>(S.ProcsKilled),
+                     static_cast<unsigned long long>(S.TasksRecovered),
+                     static_cast<unsigned long long>(S.TasksOrphaned),
+                     static_cast<unsigned long long>(S.RecoveryCycles));
 }
 
 void Repl::cmdProfile(std::string_view Arg) {

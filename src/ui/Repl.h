@@ -45,6 +45,7 @@ private:
   void cmdResume(std::string_view Arg);
   void cmdKill(std::string_view Arg);
   void cmdStats();
+  void cmdProcs();
   void cmdTrace(std::string_view Arg);
   void cmdProfile(std::string_view Arg);
   void cmdFaults(std::string_view Arg);

@@ -185,6 +185,7 @@ PrimResult primDisplay(PrimCtx &C, Value V, bool Machine) {
   // Only the distinguished terminal task's lock holder may write
   // (paper section 2.3); modelled as a virtual lock on the console.
   C.P.charge(C.E.terminalLock().acquire(C.P.Clock, cost::TerminalLockHold));
+  C.T.DidIo = true; // console output cannot be replayed by recovery
   PrintOptions Opts;
   Opts.Machine = Machine;
   printValue(C.E.console(), V, Opts);
@@ -698,6 +699,7 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
     return primDisplay(C, Args[0], /*Machine=*/true);
   case PrimId::Newline:
     P.charge(E.terminalLock().acquire(P.Clock, cost::TerminalLockHold));
+    T.DidIo = true; // console output cannot be replayed by recovery
     E.console() << '\n';
     return PrimResult::ok(Value::unspecified());
 
@@ -753,6 +755,7 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
       return PrimResult::error("semaphore-p: not a semaphore");
     switch (sem::p(E, P, T, S.asObject())) {
     case sem::POutcome::Acquired:
+      ++T.SemaphoresHeld;
       return PrimResult::ok(Value::trueV());
     case sem::POutcome::Blocked:
       return PrimResult{PrimResult::Status::BlockedSemaphore,
@@ -769,6 +772,8 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
       return R;
     if (!S.isObject() || S.asObject()->tag() != TypeTag::Semaphore)
       return PrimResult::error("semaphore-v: not a semaphore");
+    if (T.SemaphoresHeld)
+      --T.SemaphoresHeld;
     sem::v(E, P, S.asObject());
     return PrimResult::ok(Value::unspecified());
   }

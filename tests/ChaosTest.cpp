@@ -49,6 +49,29 @@ const char *const Programs[] = {
       (define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))
       (+ (touch (future (sum (build 300)))) (sum (build 300)))
     )lisp",
+    // Dining philosophers on semaphore forks (examples/philosophers
+    // parameterized small). Forks are acquired in a fixed global order so
+    // the program itself cannot deadlock; a proc-kill can land while a
+    // philosopher holds a fork, which recovery must refuse to replay
+    // (orphan: holds a semaphore).
+    R"lisp(
+      (define f0 (make-semaphore 1))
+      (define f1 (make-semaphore 1))
+      (define f2 (make-semaphore 1))
+      (define (think n) (if (= n 0) 0 (+ 1 (think (- n 1)))))
+      (define (dine lo hi meals)
+        (if (= meals 0) 0
+            (begin
+              (semaphore-p lo)
+              (semaphore-p hi)
+              (think 30)
+              (semaphore-v hi)
+              (semaphore-v lo)
+              (+ 1 (dine lo hi (- meals 1))))))
+      (+ (touch (future (dine f0 f1 4)))
+         (+ (touch (future (dine f1 f2 4)))
+            (touch (future (dine f0 f2 4)))))
+    )lisp",
 };
 
 /// Fault plans; %SEED% is substituted per sweep point.
@@ -62,6 +85,17 @@ const char *const PlanTemplates[] = {
     // machine-lifetime, so low ones may land in the prelude — the spread
     // covers both prelude and user-code windows deterministically.
     "seed=%SEED%; adapt-clamp=2@0,6@16,12@2; adapt-reset=9; steal-fail=0.2",
+    // Fail-stop a processor mid-run: survivors must adopt the dead
+    // processor's backlog (lineage re-execution or a restartable
+    // processor-lost stop) and every accounting invariant must hold for
+    // the dead processor too.
+    "seed=%SEED%; proc-kill=1@4000",
+    "seed=%SEED%; proc-kill=2@1500,0@9000; steal-fail=0.2",
+    "seed=%SEED%; proc-kill=3@2500; gc-at=2500; alloc-fail-every=31",
+    // Lazy-future seam splits that fail, alone and under a kill (the
+    // LazyFutures knob below switches on when the plan mentions seams).
+    "seed=%SEED%; seam-split-fail=1,3,7",
+    "seed=%SEED%; seam-split-fail=2,4; proc-kill=1@3000",
 };
 
 std::string planFor(const char *Template, uint64_t Seed) {
@@ -89,6 +123,9 @@ std::string runOnce(const char *Program, const std::string &Plan) {
   // every other fault) a moving controller to perturb.
   C.AdaptiveInline = true;
   C.AdaptiveWindowCycles = 512;
+  // Seam-split plans need seams to exist: run those points in the global
+  // lazy-futures mode (deterministically derived from the plan text).
+  C.LazyFutures = Plan.find("seam-split-fail") != std::string::npos;
   C.Faults = Plan;
   Engine E(C);
 
@@ -99,9 +136,11 @@ std::string runOnce(const char *Program, const std::string &Plan) {
                             static_cast<int>(R.K), R.Error.c_str(),
                             R.ok() ? valueToString(R.Val).c_str() : "-");
     if (R.K != EvalResult::Kind::RuntimeError ||
-        R.Error.find("injected-fault") == std::string::npos)
+        (R.Error.find("injected-fault") == std::string::npos &&
+         R.Error.find("processor-lost") == std::string::npos))
       break;
-    // Injected faults are restartable: resume must make progress.
+    // Injected faults and processor-lost orphan stops are restartable:
+    // resume must make progress.
     R = E.resumeGroup(R.StoppedGroup, Value::falseV());
   }
 
@@ -148,6 +187,23 @@ std::string runOnce(const char *Program, const std::string &Plan) {
   const EngineStats &S = E.stats();
   EXPECT_EQ(S.Steals + S.StealsFailed, S.StealAttempts);
 
+  // Invariant: recovery counters are coherent. No kill, no recovery
+  // footprint; recovery cycles accrue only for re-spawned tasks; the
+  // machine never loses its last processor.
+  if (S.ProcsKilled == 0) {
+    EXPECT_EQ(S.TasksRecovered, 0u);
+    EXPECT_EQ(S.TasksOrphaned, 0u);
+    EXPECT_EQ(S.RecoveryCycles, 0u);
+  }
+  if (S.RecoveryCycles > 0)
+    EXPECT_GT(S.TasksRecovered, 0u)
+        << "recovery cycles without a recovered task";
+  unsigned DeadProcs = 0;
+  for (unsigned I = 0; I < 4; ++I)
+    DeadProcs += E.machine().processor(I).Dead;
+  EXPECT_EQ(DeadProcs, S.ProcsKilled);
+  EXPECT_LT(DeadProcs, 4u) << "the last live processor must survive";
+
   Transcript += strFormat(
       "elapsed=%llu faults=%llu steals=%llu/%llu collections=%llu "
       "heapstops=%llu\n",
@@ -157,6 +213,14 @@ std::string runOnce(const char *Program, const std::string &Plan) {
       static_cast<unsigned long long>(S.StealAttempts),
       static_cast<unsigned long long>(E.gcStats().Collections),
       static_cast<unsigned long long>(S.HeapExhaustedStops));
+  // The recovery transcript: a given plan and seed must kill, recover and
+  // orphan identically (and charge the same re-execution bill) on replay.
+  Transcript += strFormat(
+      "killed=%llu recovered=%llu orphaned=%llu recoverycycles=%llu\n",
+      static_cast<unsigned long long>(S.ProcsKilled),
+      static_cast<unsigned long long>(S.TasksRecovered),
+      static_cast<unsigned long long>(S.TasksOrphaned),
+      static_cast<unsigned long long>(S.RecoveryCycles));
   // Controller state is part of the reproducibility contract: same seed
   // and plan must land every processor on the same threshold.
   Transcript += strFormat(
@@ -210,7 +274,8 @@ TEST(ChaosTest, KitchenSinkPlanNeverCrashesTheHost) {
       "seed=99; alloc-fail-every=11; gc-at=100,1000,5000; steal-fail=0.8;"
       " queue-cap=1; spawn-error=1,3; touch-error=2,7;"
       " stall=0@50+500,2@1000+2000,3@1+1;"
-      " adapt-clamp=1@16,4@0,8@16; adapt-reset=2,6";
+      " adapt-clamp=1@16,4@0,8@16; adapt-reset=2,6;"
+      " proc-kill=3@900,1@4000; seam-split-fail=1,2";
   for (const char *Program : Programs) {
     SCOPED_TRACE(Program);
     runOnce(Program, Plan);

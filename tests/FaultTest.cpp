@@ -12,6 +12,8 @@
 #include "fault/FaultPlan.h"
 #include "ui/Repl.h"
 
+#include <tuple>
+
 using namespace mult;
 using namespace mult::testutil;
 
@@ -54,6 +56,45 @@ TEST(FaultPlanTest, ParsesEveryClause) {
   EXPECT_EQ(P.Stalls[1].Proc, 1u);
   EXPECT_EQ(P.Stalls[1].Length, 50u);
   EXPECT_FALSE(P.empty());
+}
+
+TEST(FaultPlanTest, ParsesProcKillAndSeamSplitFail) {
+  FaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(FaultPlan::parse(
+      "proc-kill=2@5000,0@1000; seam-split-fail=7,3,3", P, Err))
+      << Err;
+  ASSERT_EQ(P.ProcKills.size(), 2u); // sorted by virtual-time mark
+  EXPECT_EQ(P.ProcKills[0].Proc, 0u);
+  EXPECT_EQ(P.ProcKills[0].AtCycles, 1000u);
+  EXPECT_EQ(P.ProcKills[1].Proc, 2u);
+  EXPECT_EQ(P.ProcKills[1].AtCycles, 5000u);
+  ASSERT_EQ(P.SeamSplitFailAt.size(), 2u); // sorted + deduped
+  EXPECT_EQ(P.SeamSplitFailAt[0], 3u);
+  EXPECT_EQ(P.SeamSplitFailAt[1], 7u);
+  EXPECT_FALSE(P.empty());
+}
+
+TEST(FaultPlanTest, ProcKillRoundTrips) {
+  FaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(FaultPlan::parse("proc-kill=1@200,3@90000; seam-split-fail=2",
+                               P, Err));
+  FaultPlan Q;
+  ASSERT_TRUE(FaultPlan::parse(P.format(), Q, Err)) << P.format();
+  EXPECT_EQ(P.format(), Q.format());
+}
+
+TEST(FaultPlanTest, RejectsMalformedProcKillAndSeamSplitFail) {
+  FaultPlan P;
+  std::string Err;
+  EXPECT_FALSE(FaultPlan::parse("proc-kill=1", P, Err)) << "missing @CYCLES";
+  EXPECT_FALSE(FaultPlan::parse("proc-kill=@5", P, Err));
+  EXPECT_FALSE(FaultPlan::parse("proc-kill=99999@5", P, Err))
+      << "processor ids above 0xffff are nonsense";
+  EXPECT_FALSE(FaultPlan::parse("seam-split-fail=0", P, Err))
+      << "ordinals are 1-based";
+  EXPECT_FALSE(FaultPlan::parse("seam-split-fail=x", P, Err));
 }
 
 TEST(FaultPlanTest, FormatRoundTrips) {
@@ -232,6 +273,44 @@ TEST(FaultTest, FaultsRecordTraceEvents) {
     }
   EXPECT_EQ(Seen, E.stats().FaultsInjected);
   EXPECT_EQ(Seen, 2u);
+}
+
+TEST(FaultTest, SeamSplitFailuresDegradeToInlineEvaluation) {
+  // The thief backs off the first three split attempts; the seams stay
+  // with their owners and are squashed at inline cost on return. The
+  // program cannot tell, and the futures-only-at-steal-time invariant
+  // survives the interference.
+  EngineConfig C = faultConfig(4, "seam-split-fail=1,2,3");
+  C.LazyFutures = true;
+  Engine E(C);
+  EXPECT_EQ(evalFixnum(E, R"lisp(
+    (define (tree n)
+      (if (< n 2) 1 (+ (touch (future (tree (- n 1))))
+                       (touch (future (tree (- n 2)))))))
+    (tree 14)
+  )lisp"),
+            610);
+  EXPECT_EQ(E.stats().FaultsInjected, 3u);
+  EXPECT_EQ(E.stats().SeamsStolen, E.stats().FuturesCreated)
+      << "a failed split must not leak a future";
+}
+
+TEST(FaultTest, SeamSplitFailuresAreDeterministic) {
+  auto Run = [] {
+    EngineConfig C = faultConfig(2, "seam-split-fail=1,3,5,7,9");
+    C.LazyFutures = true;
+    Engine E(C);
+    evalOk(E, R"lisp(
+      (define (tree n)
+        (if (< n 2) 1 (+ (touch (future (tree (- n 1))))
+                         (touch (future (tree (- n 2)))))))
+      (tree 12)
+    )lisp");
+    return std::tuple(E.stats().FaultsInjected, E.stats().SeamsStolen,
+                      E.stats().ElapsedCycles);
+  };
+  EXPECT_EQ(Run(), Run())
+      << "the same plan must perturb the same split attempts";
 }
 
 //===----------------------------------------------------------------------===//
