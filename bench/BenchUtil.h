@@ -86,7 +86,7 @@ inline void reportRun(Engine &E, const std::string &Tag) {
     std::printf("\n;; metrics: %s\n", Tag.c_str());
     FileOutStream &OS = FileOutStream::stdoutStream();
     dumpMetrics(OS, buildMetrics(E.machine(), E.stats(), E.gcStats(),
-                                 E.tracer()));
+                                 E.tracer(), E.raceDetector()));
     OS.flush();
     // The stable parse target for tools/collect_metrics.py: exact virtual
     // cycle count of the preceding timed run (deterministic per commit).

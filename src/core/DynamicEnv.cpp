@@ -72,24 +72,28 @@ static Object *findTaskBox(Task &T, Value Sym) {
   return nullptr;
 }
 
-bool dynenv::ref(Engine &E, Task &T, Value Sym, Value &Out) {
+bool dynenv::ref(Engine &E, Processor &P, Task &T, Value Sym, Value &Out) {
   if (Object *Box = findTaskBox(T, Sym)) {
+    E.recordAccess(P, T, Box, 0, /*IsWrite=*/false);
     Out = Box->boxValue();
     return true;
   }
   if (Object *Box = findDefaultBox(E, Sym.asObject())) {
+    E.recordAccess(P, T, Box, 0, /*IsWrite=*/false);
     Out = Box->boxValue();
     return true;
   }
   return false;
 }
 
-bool dynenv::set(Engine &E, Task &T, Value Sym, Value V) {
+bool dynenv::set(Engine &E, Processor &P, Task &T, Value Sym, Value V) {
   if (Object *Box = findTaskBox(T, Sym)) {
+    E.recordAccess(P, T, Box, 0, /*IsWrite=*/true);
     Box->setBoxValue(V);
     return true;
   }
   if (Object *Box = findDefaultBox(E, Sym.asObject())) {
+    E.recordAccess(P, T, Box, 0, /*IsWrite=*/true);
     Box->setBoxValue(V);
     return true;
   }

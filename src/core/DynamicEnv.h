@@ -34,12 +34,15 @@ bool push(Engine &E, Processor &P, Task &T, Value Sym, Value Val);
 void pop(Task &T);
 
 /// Reads \p Sym: innermost task frame, else the global fluid default.
-/// Returns false if the fluid is entirely unbound.
-bool ref(Engine &E, Task &T, Value Sym, Value &Out);
+/// Returns false if the fluid is entirely unbound. The binding box read
+/// is reported to the race detector (a task never shares its own frame
+/// boxes, but the global default box is shared by every task that has
+/// not shadowed the fluid).
+bool ref(Engine &E, Processor &P, Task &T, Value Sym, Value &Out);
 
 /// Assigns the innermost binding (or the global default). Returns false
 /// if unbound.
-bool set(Engine &E, Task &T, Value Sym, Value V);
+bool set(Engine &E, Processor &P, Task &T, Value Sym, Value V);
 
 /// Installs a global default for \p Sym (define-fluid). Returns false on
 /// allocation failure.

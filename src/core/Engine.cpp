@@ -7,6 +7,7 @@
 
 #include "core/Engine.h"
 
+#include "analysis/RaceDetect.h"
 #include "lib/Prelude.h"
 #include "reader/Reader.h"
 #include "runtime/Printer.h"
@@ -63,11 +64,24 @@ Engine::Engine(const EngineConfig &Config)
   if (const char *Env = std::getenv("MULT_RECOVERY"))
     Cfg.Recovery = !(Env[0] == '0' && Env[1] == '\0') &&
                    std::string_view(Env) != "off";
+  if (const char *Env = std::getenv("MULT_RACE"))
+    Cfg.RaceDetect = !(Env[0] == '0' && Env[1] == '\0') &&
+                     std::string_view(Env) != "off";
   TheTracer.setEnabled(Config.EnableTracing);
   if (!Config.TraceSink.empty()) {
     std::string Err;
     if (!TheTracer.configureSink(Config.TraceSink, Err))
       std::fprintf(stderr, "mult: ignoring TraceSink: %s\n", Err.c_str());
+  }
+  RaceDetectOn = Cfg.RaceDetect;
+  if (RaceDetectOn) {
+    // The checker is a stream consumer, so tracing must be on; it
+    // observes events before sink buffering, so even a small ring sink
+    // leaves it complete. Charges no virtual time: cycle counts match
+    // undetected runs bit for bit.
+    RaceDet = std::make_unique<RaceDetector>();
+    TheTracer.setEnabled(true);
+    TheTracer.setObserver(RaceDet.get());
   }
   bootstrap();
   // Arm faults only after the prelude is in: a plan that fired during
@@ -126,6 +140,43 @@ bool Engine::configureFaults(std::string_view Spec, std::string &Err) {
   Injector.configure(Plan);
   Injector.arm();
   return true;
+}
+
+uint64_t Engine::cellSerial(const Object *Cell) {
+  auto [It, Inserted] = CellSerials.try_emplace(Cell, CellSerialCounter + 1);
+  if (Inserted)
+    ++CellSerialCounter;
+  return It->second;
+}
+
+void Engine::recordAccessSlow(Processor &P, const Task &T, const Object *Cell,
+                              uint32_t Slot, bool IsWrite) {
+  if (!TheTracer.enabled())
+    return;
+  TheTracer.record(IsWrite ? TraceEventKind::CellWrite
+                           : TraceEventKind::CellRead,
+                   P.Id, P.Clock, cellSerial(Cell), Slot, T.Id);
+}
+
+void Engine::preFlip() { remapCellSerials(); }
+
+void Engine::remapCellSerials() {
+  // Copying is done but the semispaces have not flipped yet: live
+  // non-permanent cells carry forwarding headers in from-space, permanent
+  // cells never move, and everything else is dead and must drop out of
+  // the map. This must not run any later — the flip poisons from-space
+  // in debug builds, and a heap-growing flip frees it outright.
+  if (CellSerials.empty())
+    return;
+  std::unordered_map<const Object *, uint64_t> New;
+  New.reserve(CellSerials.size());
+  for (const auto &[Obj, Serial] : CellSerials) {
+    if (Obj->isPermanent())
+      New.emplace(Obj, Serial);
+    else if (Obj->isForwarded())
+      New.emplace(Obj->forwardedTo(), Serial);
+  }
+  CellSerials = std::move(New);
 }
 
 void Engine::noteFault(Processor &P, FaultKind Kind, uint64_t Detail) {
@@ -598,7 +649,8 @@ const char *orphanReasonName(OrphanReason R) {
 
 } // namespace
 
-void Engine::recoverProcessor(Processor &P, Processor &Dead) {
+void Engine::recoverProcessor(Processor &P, Processor &Dead,
+                              uint64_t DoomClock) {
   ++Stats.ProcsKilled;
 
   // Everything the processor took down with it: the task it was running
@@ -614,9 +666,47 @@ void Engine::recoverProcessor(Processor &P, Processor &Dead) {
   uint64_t Scratch = 0;
   for (TaskId T; (T = Dead.Queues.popNew(Dead.Clock, Scratch)) != InvalidTask;)
     Lost.push_back(T);
-  for (TaskId T;
-       (T = Dead.Queues.popSuspended(Dead.Clock, Scratch)) != InvalidTask;)
-    Lost.push_back(T);
+
+  // The suspended queue splits in two. Entries that arrived *before* the
+  // kill mark are genuine lost backlog. Entries at or after the mark are
+  // post-mortem wakes: the kill is polled at quantum granularity, so
+  // another processor can run past the mark and wake a task here (via
+  // Machine::homeFor, which still saw this processor alive) before the
+  // poll fires. Those tasks were never really on the dead processor —
+  // their wake state (HasWakeAction, SemaphoresHeld from a semaphore
+  // handoff) is intact and must not be re-spawned from lineage (double
+  // execution) or orphaned (a spurious semaphore-held group stop); they
+  // are redirected to the nearest survivor unchanged.
+  std::vector<std::pair<TaskId, uint64_t>> PostMortemWakes;
+  for (const auto &[T, Arrived] : Dead.Queues.drainSuspendedArrivals()) {
+    if (Arrived >= DoomClock)
+      PostMortemWakes.emplace_back(T, Arrived);
+    else
+      Lost.push_back(T);
+  }
+  for (const auto &[Id, Arrived] : PostMortemWakes) {
+    Task *T = liveTask(Id);
+    if (!T)
+      continue;
+    Group &G = group(T->Group);
+    if (G.State == GroupState::Killed) {
+      if (TheTracer.enabled())
+        TheTracer.record(TraceEventKind::TaskDropped, P.Id, P.Clock, T->Id);
+      finishTask(*T);
+      continue;
+    }
+    if (G.State == GroupState::Stopped) {
+      T->State = TaskState::Stopped;
+      G.Parked.push_back(T->Id);
+      if (TheTracer.enabled())
+        TheTracer.record(TraceEventKind::TaskParked, P.Id, P.Clock, T->Id);
+      continue;
+    }
+    Processor &Home = TheMachine.homeFor(Dead.Id);
+    T->LastProc = Home.Id;
+    Home.Queues.pushSuspended(Id, Arrived);
+    ++Stats.WakesRedirected;
+  }
 
   if (TheTracer.enabled())
     TheTracer.record(TraceEventKind::ProcKilled, P.Id, P.Clock, Dead.Id,
@@ -970,6 +1060,8 @@ void Engine::resetStats() {
   Stats = EngineStats();
   TheGc.resetStats();
   TheTracer.clear();
+  if (RaceDet)
+    RaceDet->clear(); // each measured run gets an independent verdict
   for (unsigned I = 0; I < TheMachine.numProcessors(); ++I) {
     Processor &P = TheMachine.processor(I);
     P.BusyCycles = 0;

@@ -43,8 +43,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 namespace mult {
+
+class RaceDetector;
 
 /// Construction-time configuration of a simulated Mul-T machine.
 struct EngineConfig {
@@ -124,6 +127,13 @@ struct EngineConfig {
   /// its group stops with a `processor-lost` condition. Irrelevant when
   /// no proc-kill clause ever fires.
   bool Recovery = true;
+  /// Determinacy-race detection (src/analysis, MULT_RACE): instrument
+  /// box/vector/dynamic-env accesses with trace events and run the online
+  /// SP-relation checker against the stream. Forces tracing on (the
+  /// detector is a stream consumer) but charges no virtual time, so cycle
+  /// counts are bit-identical either way; when off, every instrumentation
+  /// site is a single dormant bool test.
+  bool RaceDetect = false;
 };
 
 /// Result of Engine::eval and friends.
@@ -290,7 +300,39 @@ public:
   /// `processor-lost` condition. Called by Machine::run right after it
   /// marks \p Dead dead; \p P is the (live) processor that observed the
   /// kill and pays the virtual-time cost of the recovery scan.
-  void recoverProcessor(Processor &P, Processor &Dead);
+  ///
+  /// \p DoomClock is the absolute virtual cycle of the kill clause's
+  /// mark. The kill is polled at quantum granularity, so another
+  /// processor can run past the mark and wake a task onto \p Dead's
+  /// suspended queue before the poll fires; such post-mortem wakes
+  /// (queue arrival >= DoomClock) were never really on the dead
+  /// processor and are redirected intact to a survivor instead of being
+  /// re-spawned or orphaned. ~0 means "no mark known": every drained
+  /// task is treated as lost backlog.
+  void recoverProcessor(Processor &P, Processor &Dead,
+                        uint64_t DoomClock = ~uint64_t(0));
+
+  /// \name Determinacy-race detection (src/analysis)
+  /// @{
+  /// True when EngineConfig::RaceDetect / MULT_RACE armed the detector.
+  bool raceDetectEnabled() const { return RaceDetectOn; }
+  /// The online checker attached to the tracer; null when detection is
+  /// off.
+  RaceDetector *raceDetector() { return RaceDet.get(); }
+  const RaceDetector *raceDetector() const { return RaceDet.get(); }
+  /// Stable serial naming mutable cell \p Cell in trace events. Assigned
+  /// on first use; the side map is remapped from the forwarding pointers
+  /// after every collection, so a serial survives GC moves.
+  uint64_t cellSerial(const Object *Cell);
+  /// Emits a CellRead/CellWrite event for the detector. Costs no virtual
+  /// time; a single dormant bool test when detection is off.
+  void recordAccess(Processor &P, const Task &T, const Object *Cell,
+                    uint32_t Slot, bool IsWrite) {
+    if (!RaceDetectOn)
+      return;
+    recordAccessSlow(P, T, Cell, Slot, IsWrite);
+  }
+  /// @}
 
   /// Renders the task → future wait-for graph from scheduler state:
   /// every blocked task, what it waits on, and any wait cycle found.
@@ -320,6 +362,7 @@ public:
   unsigned numRootSegments() override;
   void scanRootSegment(unsigned Segment, const RootVisitor &Visit) override;
   void scanProcessorRoots(unsigned Proc, const RootVisitor &Visit) override;
+  void preFlip() override;
   /// @}
 
 private:
@@ -332,6 +375,12 @@ private:
   /// Allocation that retries after GC; for setup paths outside the VM.
   Object *allocOrGc(TypeTag Tag, uint32_t SizeWords, uint8_t Flags = 0);
   void scanTask(Task &T, const RootVisitor &Visit);
+  void recordAccessSlow(Processor &P, const Task &T, const Object *Cell,
+                        uint32_t Slot, bool IsWrite);
+  /// Rekeys CellSerials through the forwarding pointers; must run inside
+  /// the collection (preFlip), while from-space headers are still
+  /// readable. Dead cells drop out.
+  void remapCellSerials();
 
   EngineConfig Cfg;
   Heap TheHeap;
@@ -353,6 +402,12 @@ private:
   EngineStats Stats;
   Tracer TheTracer;
   FaultInjector Injector;
+
+  // Determinacy-race detection (null/empty unless RaceDetect is on).
+  std::unique_ptr<RaceDetector> RaceDet;
+  bool RaceDetectOn = false;
+  std::unordered_map<const Object *, uint64_t> CellSerials;
+  uint64_t CellSerialCounter = 0;
 
   SitePolicyTable SitePolicyTab;
   /// Site-policy memo: (code object, pc) → table entry (nullptr = no

@@ -16,6 +16,9 @@ sem::POutcome sem::p(Engine &E, Processor &P, Task &T, Object *Sem) {
   if (Sem->semaphoreCount() > 0) {
     Sem->setSemaphoreCount(Sem->semaphoreCount() - 1);
     P.charge(3);
+    if (E.raceDetectEnabled() && E.tracer().enabled())
+      E.tracer().record(TraceEventKind::SemAcquire, P.Id, P.Clock,
+                        E.cellSerial(Sem), 0, T.Id);
     return POutcome::Acquired;
   }
 
@@ -71,8 +74,19 @@ void sem::v(Engine &E, Processor &P, Object *Sem) {
     if (E.tracer().enabled())
       E.tracer().record(TraceEventKind::TaskResume, P.Id, P.Clock, Waiter->Id,
                         Home.Id, P.Current);
+    if (E.raceDetectEnabled() && E.tracer().enabled()) {
+      // Direct handoff: the V releases and the waiter acquires in one
+      // step, so the release edge flows straight into the waiter.
+      E.tracer().record(TraceEventKind::SemRelease, P.Id, P.Clock,
+                        E.cellSerial(Sem), 0, P.Current);
+      E.tracer().record(TraceEventKind::SemAcquire, P.Id, P.Clock,
+                        E.cellSerial(Sem), 0, Waiter->Id);
+    }
     return;
   }
   Sem->setSemaphoreCount(Sem->semaphoreCount() + 1);
   P.charge(3);
+  if (E.raceDetectEnabled() && E.tracer().enabled())
+    E.tracer().record(TraceEventKind::SemRelease, P.Id, P.Clock,
+                      E.cellSerial(Sem), 0, P.Current);
 }

@@ -75,6 +75,7 @@ struct EngineStats {
   uint64_t TasksRecovered = 0; ///< lost tasks re-spawned from lineage
   uint64_t TasksOrphaned = 0;  ///< lost tasks with observed side effects
   uint64_t RecoveryCycles = 0; ///< busy cycles re-executing recovered tasks
+  uint64_t WakesRedirected = 0; ///< post-mortem wakes rerouted to survivors
 
   // Execution.
   uint64_t Instructions = 0;   ///< bytecode instructions executed

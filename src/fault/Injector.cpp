@@ -130,11 +130,13 @@ bool FaultInjector::takeAdaptReset(uint64_t Ordinal) {
   return hitOrdinal(Plan.AdaptResetAt, AdaptResetIdx, Ordinal);
 }
 
-bool FaultInjector::takeProcKill(uint64_t RelClock, unsigned &ProcOut) {
+bool FaultInjector::takeProcKill(uint64_t RelClock, unsigned &ProcOut,
+                                 uint64_t &AtOut) {
   if (!Armed || ProcKillIdx >= Plan.ProcKills.size() ||
       Plan.ProcKills[ProcKillIdx].AtCycles > RelClock)
     return false;
   ProcOut = Plan.ProcKills[ProcKillIdx].Proc;
+  AtOut = Plan.ProcKills[ProcKillIdx].AtCycles;
   ++ProcKillIdx;
   return true;
 }

@@ -76,9 +76,12 @@ public:
 
   /// If a proc-kill clause is due at or before run-relative cycle
   /// \p RelClock, consumes it and returns true with \p ProcOut = the
-  /// processor to fail-stop. At most one kill per call; the machine
-  /// polls every quantum, so stacked kills fire on consecutive polls.
-  bool takeProcKill(uint64_t RelClock, unsigned &ProcOut);
+  /// processor to fail-stop and \p AtOut = the clause's run-relative
+  /// mark (the cycle the processor is deemed dead *from*, which the
+  /// quantum-granular poll may observe late). At most one kill per
+  /// call; the machine polls every quantum, so stacked kills fire on
+  /// consecutive polls.
+  bool takeProcKill(uint64_t RelClock, unsigned &ProcOut, uint64_t &AtOut);
 
   /// True when the current lazy-future seam-split attempt must fail.
   bool shouldFailSeamSplit();

@@ -280,6 +280,13 @@ mult::analyzeCriticalPath(const std::vector<TraceEvent> &Events,
     case TraceEventKind::FaultInjected:
     case TraceEventKind::ThresholdChange:
     case TraceEventKind::PolicyDecision:
+    case TraceEventKind::ProcKilled:
+    case TraceEventKind::TaskRecovered:
+    case TraceEventKind::TaskOrphaned:
+    case TraceEventKind::CellRead:
+    case TraceEventKind::CellWrite:
+    case TraceEventKind::SemAcquire:
+    case TraceEventKind::SemRelease:
       break; // No effect on the DAG.
     }
   }

@@ -7,6 +7,7 @@
 
 #include "obs/Metrics.h"
 
+#include "analysis/RaceDetect.h"
 #include "core/Task.h"
 #include "support/StrUtil.h"
 
@@ -15,7 +16,8 @@
 using namespace mult;
 
 MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
-                                 const Gc::Stats &G, const Tracer &Tr) {
+                                 const Gc::Stats &G, const Tracer &Tr,
+                                 const RaceDetector *RD) {
   MetricsReport R;
   for (unsigned I = 0; I < M.numProcessors(); ++I) {
     const Processor &P = M.processor(I);
@@ -52,6 +54,13 @@ MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
   R.TasksRecovered = S.TasksRecovered;
   R.TasksOrphaned = S.TasksOrphaned;
   R.RecoveryCycles = S.RecoveryCycles;
+  R.WakesRedirected = S.WakesRedirected;
+  if (RD) {
+    R.RaceDetectOn = true;
+    R.RacesDetected = RD->raceCount();
+    R.AccessesChecked = RD->accessesChecked();
+    R.CellsTracked = RD->cellsTracked();
+  }
 
   // Task lifetimes from the trace: pair each finish with its creation.
   std::unordered_map<uint64_t, uint64_t> Born;
@@ -120,11 +129,19 @@ void mult::dumpMetrics(OutStream &OS, const MetricsReport &R) {
                     static_cast<unsigned long long>(R.DeadlocksDetected));
   if (R.ProcsKilled || R.TasksRecovered || R.TasksOrphaned)
     OS << strFormat("recovery: %llu procs killed, %llu tasks recovered, "
-                    "%llu orphaned, %llu recovery cycles\n",
+                    "%llu orphaned, %llu recovery cycles, "
+                    "%llu wakes redirected\n",
                     static_cast<unsigned long long>(R.ProcsKilled),
                     static_cast<unsigned long long>(R.TasksRecovered),
                     static_cast<unsigned long long>(R.TasksOrphaned),
-                    static_cast<unsigned long long>(R.RecoveryCycles));
+                    static_cast<unsigned long long>(R.RecoveryCycles),
+                    static_cast<unsigned long long>(R.WakesRedirected));
+  if (R.RaceDetectOn)
+    OS << strFormat("races: %llu (%llu accesses checked, %llu cells "
+                    "tracked)\n",
+                    static_cast<unsigned long long>(R.RacesDetected),
+                    static_cast<unsigned long long>(R.AccessesChecked),
+                    static_cast<unsigned long long>(R.CellsTracked));
   if (R.TasksMeasured == 0) {
     OS << "task lifetimes: (enable tracing to measure)\n";
     return;

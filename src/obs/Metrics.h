@@ -26,6 +26,8 @@
 
 namespace mult {
 
+class RaceDetector;
+
 /// One processor's share of the run.
 struct ProcMetrics {
   unsigned Id = 0;
@@ -88,6 +90,15 @@ struct MetricsReport {
   uint64_t TasksRecovered = 0;
   uint64_t TasksOrphaned = 0;
   uint64_t RecoveryCycles = 0;
+  uint64_t WakesRedirected = 0;
+
+  // Determinacy-race detection (EngineConfig::RaceDetect / MULT_RACE).
+  // When the detector is off, RaceDetectOn is false and the renderer
+  // omits the races line entirely, keeping untraced output bit-identical.
+  bool RaceDetectOn = false;
+  uint64_t RacesDetected = 0;
+  uint64_t AccessesChecked = 0;
+  uint64_t CellsTracked = 0;
 
   /// Task lifetimes (create to finish, virtual cycles) in log2 buckets:
   /// bucket i counts lifetimes in [2^i, 2^(i+1)). Populated only when the
@@ -96,9 +107,11 @@ struct MetricsReport {
   uint64_t TasksMeasured = 0;
 };
 
-/// Builds the report for the last measured run.
+/// Builds the report for the last measured run. Pass the engine's race
+/// detector (may be null) to fold determinacy-race counters in.
 MetricsReport buildMetrics(const Machine &M, const EngineStats &S,
-                           const Gc::Stats &G, const Tracer &Tr);
+                           const Gc::Stats &G, const Tracer &Tr,
+                           const RaceDetector *RD = nullptr);
 
 /// Renders \p R human-readably (benches, the REPL's :stats command).
 void dumpMetrics(OutStream &OS, const MetricsReport &R);

@@ -41,6 +41,10 @@ constexpr long StreamHeaderSize = 32;
 
 Tracer::~Tracer() { closeStreamFile(); }
 
+// Out of line so Trace.h does not need the TraceObserver definition on the
+// record() fast path.
+void Tracer::notifyObserver(const TraceEvent &E) { Observer->onTraceEvent(E); }
+
 void Tracer::recordSlow(const TraceEvent &E) {
   switch (Mode) {
   case TraceSinkMode::Unbounded:
@@ -288,6 +292,10 @@ const char *mult::traceEventKindName(TraceEventKind K) {
   case TraceEventKind::ProcKilled: return "proc-killed";
   case TraceEventKind::TaskRecovered: return "task-recovered";
   case TraceEventKind::TaskOrphaned: return "task-orphaned";
+  case TraceEventKind::CellRead: return "cell-read";
+  case TraceEventKind::CellWrite: return "cell-write";
+  case TraceEventKind::SemAcquire: return "sem-acquire";
+  case TraceEventKind::SemRelease: return "sem-release";
   }
   return "unknown";
 }

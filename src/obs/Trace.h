@@ -111,10 +111,21 @@ enum class TraceEventKind : uint8_t {
                   ///< lineage, 2 semaphore held, 3 seam observed,
                   ///< 4 I/O performed, 5 recovery disabled),
                   ///< C = dead processor it was lost from.
+  CellRead,       ///< Race detector: a mutable cell was read. A = cell
+                  ///< serial, B = slot index, C = reading task id.
+  CellWrite,      ///< Race detector: a mutable cell was written. A = cell
+                  ///< serial, B = slot index, C = writing task id.
+  SemAcquire,     ///< semaphore-p succeeded (or a waiter was handed the
+                  ///< count). A = semaphore cell serial, C = acquiring
+                  ///< task id.
+  SemRelease,     ///< semaphore-v released the count (or handed it off).
+                  ///< A = semaphore cell serial, C = releasing task id.
 };
 
 /// Human-readable name of \p K ("task-create", "steal-attempt", ...).
 const char *traceEventKindName(TraceEventKind K);
+
+class TraceObserver;
 
 /// One recorded event. 32 bytes; buffers are flat vectors and the stream
 /// sink writes this struct raw (same-machine format; readTraceFile
@@ -157,12 +168,21 @@ public:
     ++Emitted;
     TraceEvent E{Clock, A, C, static_cast<uint32_t>(B),
                  static_cast<uint8_t>(Proc), Kind};
+    if (Observer)
+      notifyObserver(E);
     if (Mode == TraceSinkMode::Unbounded) {
       Events.push_back(E);
       return;
     }
     recordSlow(E);
   }
+
+  /// Attaches \p Obs as the online stream consumer (nullptr detaches). The
+  /// observer is fed every emitted event before sink buffering, so it is
+  /// immune to ring-sink drops. Survives clear(): the observer's lifetime
+  /// is tied to the engine, not to one measured run.
+  void setObserver(TraceObserver *Obs) { Observer = Obs; }
+  TraceObserver *observer() const { return Observer; }
 
   /// The buffered events in chronological emission order (a ring is
   /// linearized on access). Empty in stream mode.
@@ -217,8 +237,11 @@ public:
 
 private:
   void recordSlow(const TraceEvent &E);
+  void notifyObserver(const TraceEvent &E);
   void closeStreamFile();
   void writeStreamHeader();
+
+  TraceObserver *Observer = nullptr;
 
   bool Enabled = false;
   TraceSinkMode Mode = TraceSinkMode::Unbounded;
@@ -234,6 +257,17 @@ private:
   uint64_t ResolveSerialCounter = 0;
   std::map<std::pair<const void *, uint32_t>, uint32_t> SiteIds;
   std::vector<std::string> SiteNames;
+};
+
+/// Online consumer of the event stream. An observer sees *every* emitted
+/// event, before sink buffering/dropping, so it stays complete even when a
+/// ring sink is overwriting history (the race detector relies on this: a
+/// bounded ring keeps memory flat while the online checker still sees the
+/// full stream).
+class TraceObserver {
+public:
+  virtual ~TraceObserver() = default;
+  virtual void onTraceEvent(const TraceEvent &E) = 0;
 };
 
 /// A trace loaded back from a stream-sink file.

@@ -210,6 +210,7 @@ bool Collection::run(std::vector<uint64_t> &ProcClocks,
   for (uint64_t &C : ProcClocks)
     C = End;
 
+  Client.preFlip();
   TheHeap.endCollection();
 
   Out.ObjectsCopied = ObjectsCopied;

@@ -55,6 +55,12 @@ public:
   /// Visits roots private to processor \p Proc — the task it was executing
   /// when the collection was signalled (paper step 3).
   virtual void scanProcessorRoots(unsigned Proc, const RootVisitor &Visit) = 0;
+
+  /// Called after copying finishes but before the semispaces flip, while
+  /// from-space forwarding headers are still readable. The only moment a
+  /// client may translate weak (non-root) object pointers; after the flip
+  /// the from-space contents are gone (debug builds poison them).
+  virtual void preFlip() {}
 };
 
 /// The collector. Stateless between collections except for statistics.

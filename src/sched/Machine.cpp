@@ -215,7 +215,8 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
       // last live processor (or a dead/bogus target) is consumed with no
       // effect — an unrunnable machine helps nobody.
       unsigned Victim;
-      if (E.faults().takeProcKill(P.Clock - Start, Victim)) {
+      uint64_t KillMark;
+      if (E.faults().takeProcKill(P.Clock - Start, Victim, KillMark)) {
         if (Victim < Procs.size() && !Procs[Victim].Dead &&
             liveProcessors() > 1) {
           Processor &Dead = Procs[Victim];
@@ -226,7 +227,7 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
           }
           Processor &Obs = Procs[minClockProcessor()];
           E.noteFault(Obs, FaultKind::ProcKill, Victim);
-          E.recoverProcessor(Obs, Dead);
+          E.recoverProcessor(Obs, Dead, Start + KillMark);
           if (RootStopped()) {
             // An orphaned future stopped the root group: surface the
             // processor-lost condition to the breakloop.

@@ -24,7 +24,7 @@ uint64_t TaskQueues::pushNew(TaskId T, uint64_t Now) {
 
 uint64_t TaskQueues::pushSuspended(TaskId T, uint64_t Now) {
   uint64_t C = SuspLock.acquire(Now, cost::QueueLockHold);
-  SuspQ.push_back(T);
+  SuspQ.emplace_back(T, Now);
   SuspHighWater = std::max(SuspHighWater, SuspQ.size());
   noteDepth();
   return C + 2;
@@ -47,7 +47,7 @@ TaskId TaskQueues::popSuspended(uint64_t Now, uint64_t &Cycles) {
     return InvalidTask;
   }
   Cycles += SuspLock.acquire(Now, cost::QueueLockHold) + 2;
-  TaskId T = SuspQ.back();
+  TaskId T = SuspQ.back().first;
   SuspQ.pop_back();
   return T;
 }
@@ -78,11 +78,17 @@ TaskId TaskQueues::stealSuspended(uint64_t Now, uint64_t &Cycles,
   Cycles += SuspLock.acquire(Now, cost::QueueLockHold) + cost::StealBase;
   TaskId T;
   if (Order == StealOrder::Lifo) {
-    T = SuspQ.back();
+    T = SuspQ.back().first;
     SuspQ.pop_back();
   } else {
-    T = SuspQ.front();
+    T = SuspQ.front().first;
     SuspQ.pop_front();
   }
   return T;
+}
+
+std::vector<std::pair<TaskId, uint64_t>> TaskQueues::drainSuspendedArrivals() {
+  std::vector<std::pair<TaskId, uint64_t>> Out(SuspQ.begin(), SuspQ.end());
+  SuspQ.clear();
+  return Out;
 }

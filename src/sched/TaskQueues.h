@@ -21,6 +21,8 @@
 #include "support/VirtualLock.h"
 
 #include <deque>
+#include <utility>
+#include <vector>
 
 namespace mult {
 
@@ -45,6 +47,13 @@ public:
   TaskId stealNew(uint64_t Now, uint64_t &Cycles, StealOrder Order);
   TaskId stealSuspended(uint64_t Now, uint64_t &Cycles, StealOrder Order);
   /// @}
+
+  /// Empties the suspended queue, oldest first, returning each task with
+  /// the virtual clock at which it was enqueued. Costs no virtual time:
+  /// used only by fail-stop recovery, which needs the arrival clocks to
+  /// tell genuine lost backlog from wakes that landed here after the
+  /// processor's doom mark (see Engine::recoverProcessor).
+  std::vector<std::pair<TaskId, uint64_t>> drainSuspendedArrivals();
 
   size_t newCount() const { return NewQ.size(); }
   size_t suspendedCount() const { return SuspQ.size(); }
@@ -86,7 +95,9 @@ private:
   }
 
   std::deque<TaskId> NewQ;
-  std::deque<TaskId> SuspQ;
+  /// (task, arrival clock); the clock feeds recovery's backlog-vs-wake
+  /// split and costs nothing on the scheduling paths.
+  std::deque<std::pair<TaskId, uint64_t>> SuspQ;
   VirtualLock NewLock;
   VirtualLock SuspLock;
   size_t NewHighWater = 0;

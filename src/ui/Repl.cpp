@@ -7,6 +7,7 @@
 
 #include "ui/Repl.h"
 
+#include "analysis/RaceDetect.h"
 #include "obs/Metrics.h"
 #include "obs/Profile.h"
 #include "obs/TraceExport.h"
@@ -70,6 +71,8 @@ bool Repl::processLine(std::string_view Line) {
       cmdStats();
     else if (Cmd == "procs")
       cmdProcs();
+    else if (Cmd == "races")
+      cmdRaces();
     else if (Cmd == "trace")
       cmdTrace(Arg);
     else if (Cmd == "profile")
@@ -126,6 +129,8 @@ void Repl::cmdHelp() {
          "                   (task-lifetime histogram needs tracing on)\n"
          "  :procs           per-processor liveness, clocks and queue\n"
          "                   depths (dead = fail-stopped by proc-kill)\n"
+         "  :races           determinacy races found so far (needs the\n"
+         "                   detector: MULT_RACE=1 or RaceDetect config)\n"
          "  :trace on|off    toggle the virtual-time event tracer\n"
          "  :trace ring:N|stream[:PATH]|unbounded\n"
          "                   choose the trace sink (stream writes binary\n"
@@ -231,9 +236,30 @@ void Repl::cmdKill(std::string_view Arg) {
 
 void Repl::cmdStats() {
   dumpStats(Out, E.stats());
-  MetricsReport R =
-      buildMetrics(E.machine(), E.stats(), E.gcStats(), E.tracer());
+  MetricsReport R = buildMetrics(E.machine(), E.stats(), E.gcStats(),
+                                 E.tracer(), E.raceDetector());
   dumpMetrics(Out, R);
+}
+
+void Repl::cmdRaces() {
+  const RaceDetector *D = E.raceDetector();
+  if (!D) {
+    Out << ";; race detection off (restart with MULT_RACE=1 or set "
+           "EngineConfig::RaceDetect)\n";
+    return;
+  }
+  Out << strFormat(";; races: %llu (%llu accesses checked, %llu cells "
+                   "tracked)\n",
+                   static_cast<unsigned long long>(D->raceCount()),
+                   static_cast<unsigned long long>(D->accessesChecked()),
+                   static_cast<unsigned long long>(D->cellsTracked()));
+  for (const RaceDetector::Race &R : D->races())
+    Out << D->describe(R, E.tracer().siteNames());
+  if (D->raceCount() > D->races().size())
+    Out << strFormat(";; (%llu more races not stored; first %zu shown)\n",
+                     static_cast<unsigned long long>(D->raceCount() -
+                                                     D->races().size()),
+                     D->races().size());
 }
 
 void Repl::cmdProcs() {

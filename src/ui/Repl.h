@@ -46,6 +46,7 @@ private:
   void cmdKill(std::string_view Arg);
   void cmdStats();
   void cmdProcs();
+  void cmdRaces();
   void cmdTrace(std::string_view Arg);
   void cmdProfile(std::string_view Arg);
   void cmdFaults(std::string_view Arg);

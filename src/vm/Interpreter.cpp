@@ -198,6 +198,7 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
     case Op::BoxRef: {
       assert(Stack.back().isObject() &&
              Stack.back().asObject()->tag() == TypeTag::Box);
+      E.recordAccess(P, T, Stack.back().asObject(), 0, /*IsWrite=*/false);
       Stack.back() = Stack.back().asObject()->boxValue();
       ++T.Pc;
       break;
@@ -207,6 +208,7 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
       Stack.pop_back();
       Value Box = Stack.back();
       assert(Box.isObject() && Box.asObject()->tag() == TypeTag::Box);
+      E.recordAccess(P, T, Box.asObject(), 0, /*IsWrite=*/true);
       Box.asObject()->setBoxValue(V);
       Stack.back() = Value::unspecified();
       ++T.Pc;
@@ -577,6 +579,8 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
         return Raise(strFormat("vector-ref: index %lld out of range",
                                static_cast<long long>(K)),
                      2);
+      E.recordAccess(P, T, Vec.asObject(), static_cast<uint32_t>(K),
+                     /*IsWrite=*/false);
       Stack.pop_back();
       Stack.back() = Vec.asObject()->vectorRef(K);
       ++T.Pc;
@@ -593,6 +597,8 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
         return Raise(strFormat("vector-set!: index %lld out of range",
                                static_cast<long long>(K)),
                      3);
+      E.recordAccess(P, T, Vec.asObject(), static_cast<uint32_t>(K),
+                     /*IsWrite=*/true);
       Vec.asObject()->vectorSet(K, V);
       Stack.resize(Stack.size() - 3);
       Stack.push_back(Value::unspecified());

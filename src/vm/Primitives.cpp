@@ -562,8 +562,11 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
     if (!isVectorV(V))
       return PrimResult::error("vector->list: not a vector");
     std::vector<Value> Elems;
-    for (int64_t I = 0, N = V.asObject()->vectorLength(); I < N; ++I)
+    for (int64_t I = 0, N = V.asObject()->vectorLength(); I < N; ++I) {
+      E.recordAccess(P, T, V.asObject(), static_cast<uint32_t>(I),
+                     /*IsWrite=*/false);
       Elems.push_back(V.asObject()->vectorRef(I));
+    }
     Value Out;
     if (!buildList(C, Elems, Value::nil(), Out))
       return PrimResult::needsGc();
@@ -577,8 +580,11 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
       return R;
     if (!isVectorV(V))
       return PrimResult::error("vector-fill!: not a vector");
-    for (int64_t I = 0, N = V.asObject()->vectorLength(); I < N; ++I)
+    for (int64_t I = 0, N = V.asObject()->vectorLength(); I < N; ++I) {
+      E.recordAccess(P, T, V.asObject(), static_cast<uint32_t>(I),
+                     /*IsWrite=*/true);
       V.asObject()->vectorSet(I, Args[1]);
+    }
     P.charge(static_cast<uint64_t>(V.asObject()->vectorLength()));
     return PrimResult::ok(Value::unspecified());
   }
@@ -796,7 +802,7 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
     if (!touchOrBlock(C, Sym, R))
       return R;
     Value Out;
-    if (!dynenv::ref(E, T, Sym, Out))
+    if (!dynenv::ref(E, P, T, Sym, Out))
       return PrimResult::error(strFormat(
           "unbound fluid variable: %s",
           std::string(Sym.asObject()->symbolText()).c_str()));
@@ -806,7 +812,7 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
     Value Sym = Args[0];
     if (!touchOrBlock(C, Sym, R))
       return R;
-    if (!dynenv::set(E, T, Sym, Args[1]))
+    if (!dynenv::set(E, P, T, Sym, Args[1]))
       return PrimResult::error(strFormat(
           "set of unbound fluid variable: %s",
           std::string(Sym.asObject()->symbolText()).c_str()));

@@ -41,6 +41,43 @@ const char *const FibProgram = R"lisp(
     (fib 20))
 )lisp";
 
+/// Dining philosophers with per-fork use counters (%d = rounds). Heavy
+/// semaphore traffic makes V-handoff wakes land on arbitrary processors,
+/// which is what the post-mortem-wake pin below needs. Returns
+/// 2 * rounds (fork 0's counter, bumped by its two neighbours).
+const char *const PhilosophersTemplate = R"lisp(
+  (begin
+    (define n 5)
+    (define rounds %d)
+    (define forks (make-vector n 0))
+    (define uses (make-vector n 0))
+    (do ((i 0 (+ i 1))) ((= i n) #t)
+      (vector-set! forks i (make-semaphore 1)))
+    (define (dine who)
+      (let ((li who) (ri (remainder (+ who 1) n)))
+        (let ((fi (if (even? who) li ri))
+              (si (if (even? who) ri li)))
+          (let ((first (vector-ref forks fi))
+                (second (vector-ref forks si)))
+            (let loop ((r 0))
+              (if (= r rounds)
+                  'full
+                  (begin
+                    (semaphore-p first)
+                    (semaphore-p second)
+                    (vector-set! uses li (+ (vector-ref uses li) 1))
+                    (vector-set! uses ri (+ (vector-ref uses ri) 1))
+                    (semaphore-v second)
+                    (semaphore-v first)
+                    (loop (+ r 1)))))))))
+    (define (spawn who)
+      (if (= who n) '() (cons (future (dine who)) (spawn (+ who 1)))))
+    (define (wait-all l)
+      (if (null? l) 'done (begin (touch (car l)) (wait-all (cdr l)))))
+    (wait-all (spawn 0))
+    (vector-ref uses 0))
+)lisp";
+
 /// Asserts the cycle-tiling and steal-accounting invariants, dead
 /// processors included (a dead board's clock is frozen, but what it
 /// accrued must still tile).
@@ -256,6 +293,33 @@ TEST(RecoveryTest, NoKillClauseMeansNoRecoveryFootprint) {
   StringOutStream OS(Dump);
   dumpStats(OS, E.stats());
   EXPECT_EQ(Dump.find("recovery:"), std::string::npos) << Dump;
+}
+
+TEST(RecoveryTest, PostMortemWakeIsRedirectedNotOrphaned) {
+  // Pin for a misclassification found with a chaos_search-style scan of
+  // proc-kill cycles over a semaphore-heavy workload. The kill clause
+  // marks proc 1 dead *from* cycle 8000, but the poll runs at quantum
+  // granularity on the min-clock processor: another processor, already
+  // past the mark mid-quantum, completes a semaphore V whose handoff
+  // wakes a philosopher onto proc 1's suspended queue (Machine::homeFor
+  // still saw it alive). That task arrives with SemaphoresHeld = 1 from
+  // the handoff; classifying it as lost backlog used to orphan it as
+  // semaphore-held and stop the group. It was never on the dead
+  // processor before the mark — recovery must redirect it, intact, to a
+  // survivor.
+  EngineConfig C = killConfig(4, "proc-kill=1@8000");
+  C.InlineThreshold = 1'000'000; // eager: every philosopher a real task
+  Engine E(C);
+  EXPECT_EQ(evalFixnum(E, strFormat(PhilosophersTemplate, 300)), 600)
+      << "the redirected philosopher must finish on a survivor";
+  const EngineStats &S = E.stats();
+  EXPECT_EQ(S.ProcsKilled, 1u);
+  EXPECT_EQ(S.WakesRedirected, 1u)
+      << "exactly one post-mortem wake in this schedule";
+  EXPECT_EQ(S.TasksOrphaned, 0u)
+      << "a redirected wake must not be misclassified as a semaphore-held "
+         "orphan";
+  checkInvariants(E);
 }
 
 TEST(RecoveryTest, MultRecoveryEnvDisablesRecovery) {

@@ -1,0 +1,7 @@
+; Control: the shared counter is protected by a semaphore; P/V pairs
+; contribute happens-before cross-edges. Must NOT be flagged.
+(define s (make-semaphore 1))
+(define vv (make-vector 1 0))
+(define (bump) (semaphore-p s) (vector-set! vv 0 (+ (vector-ref vv 0) 1)) (semaphore-v s))
+(define (ok) (let ((f (future (bump))) (g (future (bump)))) (touch f) (touch g) (vector-ref vv 0)))
+(ok)

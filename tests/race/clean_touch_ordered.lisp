@@ -1,0 +1,5 @@
+; Control: the touch is a series edge, so the parent's write and read
+; strictly follow the child's write. Must NOT be flagged.
+(define vv (make-vector 1 0))
+(define (ok) (let ((f (future (vector-set! vv 0 1)))) (touch f) (vector-set! vv 0 2) (vector-ref vv 0)))
+(ok)

@@ -1,0 +1,5 @@
+; Dynamic-environment mutation: with no task-local bind in scope, both
+; set-fluid! calls hit the shared global default box.
+(define-fluid *mode* 0)
+(define (racy) (let ((f (future (set-fluid! *mode* 1))) (g (future (set-fluid! *mode* 2)))) (touch f) (touch g) (fluid *mode*)))
+(racy)

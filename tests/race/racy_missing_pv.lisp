@@ -1,0 +1,12 @@
+; Dining philosophers with per-fork use counters, minus one P/V pair:
+; philosopher 0 bumps its second fork's counter without holding that
+; fork, racing with the neighbour's protected bump.
+(define n 5)
+(define rounds 3)
+(define forks (make-vector n 0))
+(define uses (make-vector n 0))
+(do ((i 0 (+ i 1))) ((= i n) #t) (vector-set! forks i (make-semaphore 1)))
+(define (dine who) (let ((li who) (ri (remainder (+ who 1) n))) (let ((fi (if (even? who) li ri)) (si (if (even? who) ri li))) (let ((first (vector-ref forks fi)) (second (vector-ref forks si))) (let loop ((r 0)) (if (= r rounds) 'full (begin (semaphore-p first) (if (> who 0) (semaphore-p second) #t) (vector-set! uses li (+ (vector-ref uses li) 1)) (vector-set! uses ri (+ (vector-ref uses ri) 1)) (if (> who 0) (semaphore-v second) #t) (semaphore-v first) (loop (+ r 1)))))))))
+(define (spawn who) (if (= who n) '() (cons (future (dine who)) (spawn (+ who 1)))))
+(define (wait-all l) (if (null? l) 'done (begin (touch (car l)) (wait-all (cdr l)))))
+(wait-all (spawn 0))

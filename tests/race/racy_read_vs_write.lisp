@@ -1,0 +1,5 @@
+; The parent reads the vector slot before touching the future that
+; writes it: the read and the child's write are logically parallel.
+(define vv (make-vector 1 0))
+(define (racy) (let ((f (future (vector-set! vv 0 1)))) (let ((seen (vector-ref vv 0))) (touch f) seen)))
+(racy)

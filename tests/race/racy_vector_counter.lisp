@@ -1,0 +1,6 @@
+; Classic lost-update shape: two futures read-modify-write a shared
+; vector slot with no semaphore.
+(define vv (make-vector 1 0))
+(define (bump) (vector-set! vv 0 (+ (vector-ref vv 0) 1)))
+(define (racy) (let ((f (future (bump))) (g (future (bump)))) (touch f) (touch g) (vector-ref vv 0)))
+(racy)

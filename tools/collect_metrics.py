@@ -82,8 +82,11 @@ def run_benches(build_dir, faults=None):
     # and independent of the caller's environment. MULT_FAULTS *does*
     # change virtual time, so it is stripped unless --faults asks for it:
     # the default dashboard must measure the unmolested engine.
+    # MULT_RACE is virtual-time-neutral too (tools/race_check.py relies
+    # on that), but it slows the host and its metrics lines are not this
+    # dashboard's input, so strip it as well.
     for var in ("MULT_TRACE", "MULT_PROFILE", "MULT_TRACE_MODE",
-                "MULT_TRACE_DIR", "MULT_FAULTS"):
+                "MULT_TRACE_DIR", "MULT_FAULTS", "MULT_RACE"):
         env.pop(var, None)
     if faults:
         env["MULT_FAULTS"] = faults
@@ -103,6 +106,16 @@ def run_benches(build_dir, faults=None):
             if not m:
                 f = FAULT_LINE.match(line)
                 if f:
+                    if faults is None:
+                        # The benches only print fault counters when their
+                        # engine armed an injector. Seeing one in a run we
+                        # did not arm means some stray environment (or an
+                        # engine bug) molested the measurement; recording
+                        # it as "<tag>#<name>" would silently poison the
+                        # golden diff instead of flagging the bad run.
+                        fail(f"{bench} printed '{line.strip()}' but no "
+                             "--faults plan was given; the run is not "
+                             "measuring the unmolested engine")
                     key = f"{f.group(1)}#{f.group(2)}"
                     cycles[key] = int(f.group(3))
                 continue
