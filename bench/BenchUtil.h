@@ -52,6 +52,17 @@ using namespace mult;
 ///                      passed by the bench becomes the starting point
 ///   MULT_SITE_POLICIES=F  load per-future-site policies from F (picked
 ///                      up by the Engine itself; see :profile FILE)
+///   MULT_TELEMETRY=prom:PATH|json:PATH  export the always-on telemetry
+///                      registry (counters, gauges, latency histograms)
+///                      when the engine is destroyed. Recording itself
+///                      needs no switch; this only chooses an export.
+///
+/// Always printed per run (no switch): one ";; host: <tag> ..." line of
+/// host wall-clock phase times and the derived ns-per-virtual-cycle.
+/// Host time is machine-dependent noise, so the golden comparator
+/// (tools/collect_metrics.py) must never track it. With MULT_METRICS,
+/// deterministic ";; histo: <tag> <name> ..." summary lines are printed
+/// for the virtual-time latency histograms and ARE golden-tracked.
 inline bool traceRequested() { return std::getenv("MULT_TRACE") != nullptr; }
 inline bool metricsRequested() {
   return std::getenv("MULT_METRICS") != nullptr;
@@ -86,12 +97,37 @@ inline void reportRun(Engine &E, const std::string &Tag) {
     std::printf("\n;; metrics: %s\n", Tag.c_str());
     FileOutStream &OS = FileOutStream::stdoutStream();
     dumpMetrics(OS, buildMetrics(E.machine(), E.stats(), E.gcStats(),
-                                 E.tracer(), E.raceDetector()));
+                                 E.tracer(), E.raceDetector(),
+                                 &E.telemetry()));
     OS.flush();
     // The stable parse target for tools/collect_metrics.py: exact virtual
     // cycle count of the preceding timed run (deterministic per commit).
     std::printf(";; virtual-cycles: %s %llu\n", Tag.c_str(),
                 static_cast<unsigned long long>(E.stats().ElapsedCycles));
+    // Virtual-time latency histograms, same determinism contract as the
+    // cycle count above: the collector tracks these as <tag>@<name>.
+    const Telemetry &T = E.telemetry();
+    for (const char *Name :
+         {"gc_pause_cycles", "touch_wait_cycles", "task_lifetime_cycles"}) {
+      Telemetry::Id Id = T.find(Name);
+      if (Id == Telemetry::InvalidId)
+        continue;
+      LatencyHistogram H = T.merged(Id);
+      std::string N = Name;
+      N.resize(N.size() - 7); // strip "_cycles"
+      for (char &C : N)
+        if (C == '_')
+          C = '-';
+      std::printf(";; histo: %s %s n=%llu sum=%llu p50=%llu p90=%llu "
+                  "p99=%llu max=%llu\n",
+                  Tag.c_str(), N.c_str(),
+                  static_cast<unsigned long long>(H.count()),
+                  static_cast<unsigned long long>(H.sum()),
+                  static_cast<unsigned long long>(H.percentile(50)),
+                  static_cast<unsigned long long>(H.percentile(90)),
+                  static_cast<unsigned long long>(H.percentile(99)),
+                  static_cast<unsigned long long>(H.max()));
+    }
     if (E.faults().armed()) {
       std::printf(";; fault-metrics: %s faults-injected %llu\n", Tag.c_str(),
                   static_cast<unsigned long long>(E.stats().FaultsInjected));
@@ -133,6 +169,29 @@ inline void reportRun(Engine &E, const std::string &Tag) {
     } else {
       std::fprintf(stderr, ";; trace: cannot open %s\n", Path.c_str());
     }
+  }
+  // Host wall-clock phases, printed for every run with no switch. These
+  // are simulator self-times (steady_clock), noisy and machine-dependent:
+  // tools/collect_metrics.py recognizes ";; host:" and refuses to let it
+  // anywhere near the golden comparison. Run includes nested GC time.
+  {
+    const Telemetry &T = E.telemetry();
+    uint64_t RunNs = T.hostNs(Telemetry::Phase::Run);
+    uint64_t Cycles = E.stats().ElapsedCycles;
+    double NsPerCycle =
+        Cycles ? static_cast<double>(RunNs) / static_cast<double>(Cycles)
+               : 0.0;
+    E.telemetry().set(E.telemetryIds().HostNsPerCycle, NsPerCycle);
+    std::printf(";; host: %s read-ns=%llu compile-ns=%llu run-ns=%llu "
+                "gc-ns=%llu ns-per-vcycle=%.2f\n",
+                Tag.c_str(),
+                static_cast<unsigned long long>(
+                    T.hostNs(Telemetry::Phase::Read)),
+                static_cast<unsigned long long>(
+                    T.hostNs(Telemetry::Phase::Compile)),
+                static_cast<unsigned long long>(RunNs),
+                static_cast<unsigned long long>(T.hostNs(Telemetry::Phase::Gc)),
+                NsPerCycle);
   }
 }
 

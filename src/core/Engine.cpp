@@ -60,7 +60,34 @@ Engine::Engine(const EngineConfig &Config)
       TheMachine(Config.NumProcessors, Config.QuantumCycles,
                  Config.MaxRunCycles, Config.StealPolicy,
                  adaptiveConfig(Config)),
-      Rng(Config.RandomSeed) {
+      Rng(Config.RandomSeed), Telem(Config.NumProcessors) {
+  // Well-known latency histograms, registered before any recording so
+  // their ids are dense and stable. Always on: recording charges no
+  // virtual time, so cycle counts are bit-identical either way.
+  TelemIds.GcPause = Telem.histogram(
+      "gc_pause_cycles", "virtual cycles per GC pause (rendezvous to resume)");
+  TelemIds.TouchWait = Telem.histogram(
+      "touch_wait_cycles", "virtual cycles a touch blocked until its future "
+                           "resolved");
+  TelemIds.StealLatency = Telem.histogram(
+      "steal_latency_cycles", "virtual cycles a stolen task waited on its "
+                              "victim queue (push to steal)");
+  TelemIds.SemWait = Telem.histogram(
+      "sem_wait_cycles", "virtual cycles a task blocked in semaphore-p until "
+                         "the handing-off V");
+  TelemIds.TaskLifetime = Telem.histogram(
+      "task_lifetime_cycles", "virtual cycles from task creation to finish");
+  TelemIds.EvalRequest = Telem.histogram(
+      "eval_request_cycles", "virtual cycles per top-level eval request");
+  TelemIds.EvalsTotal =
+      Telem.counter("eval_requests_total", "top-level eval requests run");
+  TelemIds.HostNsPerCycle = Telem.gauge(
+      "host_ns_per_virtual_cycle", "host nanoseconds per simulated virtual "
+                                   "cycle of the last measured run");
+  TelemetrySpec = Config.Telemetry;
+  if (TelemetrySpec.empty())
+    if (const char *Env = std::getenv("MULT_TELEMETRY"))
+      TelemetrySpec = Env;
   if (const char *Env = std::getenv("MULT_RECOVERY"))
     Cfg.Recovery = !(Env[0] == '0' && Env[1] == '\0') &&
                    std::string_view(Env) != "off";
@@ -187,7 +214,34 @@ void Engine::noteFault(Processor &P, FaultKind Kind, uint64_t Detail) {
                      Stats.FaultsInjected);
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (!TelemetrySpec.empty()) {
+    std::string Err;
+    if (!exportTelemetrySpec(Telem, TelemetrySpec, Err))
+      std::fprintf(stderr, "mult: ignoring MULT_TELEMETRY: %s\n", Err.c_str());
+  }
+}
+
+void Engine::recordTouchWait(Processor &P, uint32_t Site, uint64_t WaitCycles) {
+  Telem.record(TelemIds.TouchWait, P.Id, WaitCycles);
+  if (Site == ~uint32_t(0))
+    return;
+  // Per-site child histogram, registered on the site's first blocked
+  // touch. Site interning order is deterministic (virtual-time
+  // simulation), so the registry layout is too.
+  if (Site >= SiteTouchHists.size())
+    SiteTouchHists.resize(Site + 1, Telemetry::InvalidId);
+  if (SiteTouchHists[Site] == Telemetry::InvalidId) {
+    const std::vector<std::string> &Names = TheTracer.siteNames();
+    std::string Name =
+        Site < Names.size() ? Names[Site] : strFormat("site-%u", Site);
+    SiteTouchHists[Site] = Telem.histogram(
+        "touch_wait_cycles", "virtual cycles a touch blocked until its future "
+                             "resolved",
+        "site", Name);
+  }
+  Telem.record(SiteTouchHists[Site], P.Id, WaitCycles);
+}
 
 //===----------------------------------------------------------------------===//
 // Bootstrap
@@ -303,6 +357,13 @@ Task *Engine::liveTask(TaskId Id) {
   return T->State == TaskState::Done ? nullptr : T;
 }
 
+Task *Engine::taskByIndex(uint32_t Idx) {
+  if (Idx >= Tasks.size())
+    return nullptr;
+  Task *T = Tasks[Idx].get();
+  return (T && T->State != TaskState::Done) ? T : nullptr;
+}
+
 Group &Engine::group(GroupId Id) {
   assert(Id < Groups.size() && "bad group id");
   return Groups[Id];
@@ -339,6 +400,8 @@ TaskId Engine::newTask(GroupId G, Value Closure, Value ResultFuture,
   TaskId Id = newEmptyTask(G, Proc);
   Task &T = task(Id);
   T.initForThunk(Id, G, Closure, ResultFuture, DynEnv, Proc);
+  T.CreateClock = TheMachine.processor(Proc).Clock;
+  T.FutureSite = ~uint32_t(0);
   ++Stats.TasksCreated;
   if (G != InvalidGroup)
     ++group(G).TasksCreated;
@@ -388,10 +451,14 @@ Object *Engine::allocOrGc(TypeTag Tag, uint32_t SizeWords, uint8_t Flags) {
 }
 
 bool Engine::collectGarbage() {
+  HostPhaseTimer HostGc(Telem, Telemetry::Phase::Gc);
   std::vector<uint64_t> Clocks = TheMachine.clocks();
   std::vector<uint64_t> Before = Clocks;
   bool Ok = TheGc.collect(*this, Clocks);
   if (Ok) {
+    // The pause distribution, not just the running total (the collection
+    // already updated Gc::Stats). Shard 0: a collection is machine-wide.
+    Telem.record(TelemIds.GcPause, 0, TheGc.stats().Last.PauseCycles);
     TheMachine.setClocks(Clocks);
     // Each processor's pause (from interruption to the common resume
     // clock) is GC time; together with busy and idle cycles this tiles
@@ -1009,11 +1076,18 @@ EvalResult Engine::runTopLevel(Code *TopCode, std::string_view Banner) {
 
   beginRun(G.RootFuture, Gid);
   RunResult RR = TheMachine.run(*this, G.RootFuture);
+  // Request latency for the multi-tenant story: every top-level eval is
+  // one request, including the ones that end in a breakloop.
+  Telem.add(TelemIds.EvalsTotal, P0.Id);
+  Telem.record(TelemIds.EvalRequest, P0.Id, RR.ElapsedCycles);
   return translateRunResult(RR, Gid);
 }
 
 EvalResult Engine::evalDatum(Value Form, std::string_view Banner) {
-  Compiler::Result CR = TheCompiler.compile(Form);
+  Compiler::Result CR = [&] {
+    HostPhaseTimer HostCompile(Telem, Telemetry::Phase::Compile);
+    return TheCompiler.compile(Form);
+  }();
   if (!CR.ok()) {
     EvalResult R;
     R.K = EvalResult::Kind::CompileError;
@@ -1030,7 +1104,10 @@ EvalResult Engine::evalDatum(Value Form, std::string_view Banner) {
 EvalResult Engine::eval(std::string_view Source) {
   Reader Rd(Builder, Source);
   std::string Err;
-  std::vector<Value> Forms = Rd.readAll(Err);
+  std::vector<Value> Forms = [&] {
+    HostPhaseTimer HostRead(Telem, Telemetry::Phase::Read);
+    return Rd.readAll(Err);
+  }();
   if (!Err.empty()) {
     EvalResult R;
     R.K = EvalResult::Kind::ReadError;
@@ -1060,6 +1137,9 @@ void Engine::resetStats() {
   Stats = EngineStats();
   TheGc.resetStats();
   TheTracer.clear();
+  // Telemetry values reset with the run; registrations, metric ids and
+  // the per-site child table survive (sites are program facts).
+  Telem.clear();
   if (RaceDet)
     RaceDet->clear(); // each measured run gets an independent verdict
   for (unsigned I = 0; I < TheMachine.numProcessors(); ++I) {

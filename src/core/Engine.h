@@ -30,6 +30,7 @@
 #include "fault/Injector.h"
 #include "core/Stats.h"
 #include "core/Task.h"
+#include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "runtime/Gc.h"
 #include "runtime/Heap.h"
@@ -127,6 +128,13 @@ struct EngineConfig {
   /// its group stops with a `processor-lost` condition. Irrelevant when
   /// no proc-kill clause ever fires.
   bool Recovery = true;
+  /// Telemetry export spec: "prom:PATH" (Prometheus text exposition) or
+  /// "json:PATH", written when the engine is destroyed. Empty falls back
+  /// to the MULT_TELEMETRY environment variable; empty both ways means
+  /// no export (the registry still records -- recording is always on and
+  /// costs no virtual time). When several engines share a path, the last
+  /// one destroyed wins.
+  std::string Telemetry;
   /// Determinacy-race detection (src/analysis, MULT_RACE): instrument
   /// box/vector/dynamic-env accesses with trace events and run the online
   /// SP-relation checker against the stream. Forces tracing on (the
@@ -208,6 +216,31 @@ public:
   Tracer &tracer() { return TheTracer; }
   const Tracer &tracer() const { return TheTracer; }
   void resetStats();
+
+  /// \name Always-on latency telemetry (src/obs/Telemetry.h)
+  ///
+  /// Recording never charges virtual time, so cycle counts are
+  /// bit-identical with or without anyone reading the histograms.
+  /// Values are cleared by resetStats; registrations and ids persist.
+  /// @{
+  Telemetry &telemetry() { return Telem; }
+  const Telemetry &telemetry() const { return Telem; }
+  /// Well-known metric ids, registered once at construction.
+  struct TelemetryIds {
+    Telemetry::Id GcPause = Telemetry::InvalidId;     ///< per-collection pause
+    Telemetry::Id TouchWait = Telemetry::InvalidId;   ///< touch-block -> resolve
+    Telemetry::Id StealLatency = Telemetry::InvalidId;///< queue push -> steal
+    Telemetry::Id SemWait = Telemetry::InvalidId;     ///< sem-P block -> V wake
+    Telemetry::Id TaskLifetime = Telemetry::InvalidId;///< create -> finish
+    Telemetry::Id EvalRequest = Telemetry::InvalidId; ///< top-level eval cycles
+    Telemetry::Id EvalsTotal = Telemetry::InvalidId;  ///< counter
+    Telemetry::Id HostNsPerCycle = Telemetry::InvalidId; ///< gauge, set by benches
+  };
+  const TelemetryIds &telemetryIds() const { return TelemIds; }
+  /// Records one touch-wait sample into the global histogram and the
+  /// per-site child keyed by \p Site (a Tracer::futureSiteId; ~0 =
+  /// unknown site, global only).
+  void recordTouchWait(Processor &P, uint32_t Site, uint64_t WaitCycles);
   /// @}
 
   /// \name Internals used by the VM, scheduler and primitives
@@ -231,6 +264,12 @@ public:
   Task &task(TaskId Id);
   /// Null if the id's generation is stale or the task is Done.
   Task *liveTask(TaskId Id);
+  /// The task currently occupying registry slot \p Idx, regardless of
+  /// generation; null when out of range or Done. Callers must validate
+  /// the slot really is the task they mean (e.g. its ResultFuture) --
+  /// used by the touch-wait telemetry to map a future back to the
+  /// spawning site via the FutTaskId slot.
+  Task *taskByIndex(uint32_t Idx);
   Group &group(GroupId Id);
   /// Creates (or recycles) a task running \p Closure. \p Parent is the
   /// creating task (the future-spawn DAG edge recorded in the trace);
@@ -402,6 +441,15 @@ private:
   EngineStats Stats;
   Tracer TheTracer;
   FaultInjector Injector;
+
+  // Always-on latency telemetry. TelemetrySpec is the resolved export
+  // destination (config or MULT_TELEMETRY), written by the destructor.
+  // SiteTouchHists maps future-site ids to their labeled touch-wait
+  // child histograms, registered on a site's first blocked touch.
+  Telemetry Telem;
+  TelemetryIds TelemIds;
+  std::vector<Telemetry::Id> SiteTouchHists;
+  std::string TelemetrySpec;
 
   // Determinacy-race detection (null/empty unless RaceDetect is on).
   std::unique_ptr<RaceDetector> RaceDet;

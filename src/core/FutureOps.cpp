@@ -52,11 +52,11 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
   Tracer &Tr = E.tracer();
   // The future site: one id per textual `future` expression, keyed on the
   // code object + pc of the FutureOp. Interned before enterThunk moves
-  // T.CurCode/T.Pc into the thunk.
-  uint32_t Site = 0;
-  if (Tr.enabled())
-    Site = Tr.futureSiteId(T.CurCode, T.Pc,
-                           T.CurCode ? T.CurCode->Name : std::string_view());
+  // T.CurCode/T.Pc into the thunk. Unconditional (host cost only): the
+  // always-on touch-wait telemetry keys its per-site histograms on the
+  // same ids the tracer and profiler use.
+  uint32_t Site = Tr.futureSiteId(
+      T.CurCode, T.Pc, T.CurCode ? T.CurCode->Name : std::string_view());
 
   // Profile-guided site policy: a loaded table overrides both the global
   // lazy mode and the threshold machinery for the sites it names. The
@@ -146,6 +146,7 @@ bool futureops::onFutureOp(Engine &E, Processor &P, Task &T) {
   T.Stack.pop_back();
   TaskId Child =
       E.newTask(T.Group, Thunk, Value::future(Fut), T.DynEnv, P.Id, T.Id);
+  E.task(Child).FutureSite = Site;
   Fut->setSlot(Object::FutTaskId,
                Value::fixnum(static_cast<int64_t>(taskIndex(Child))));
 
@@ -182,6 +183,22 @@ bool futureops::blockOnFuture(Engine &E, Processor &P, Task &T, Object *Fut) {
 
   T.State = TaskState::BlockedFuture;
   T.BlockedOn = Value::future(Fut);
+
+  // Telemetry stamps (zero virtual cost): when the resolve wakes this
+  // task, the wait is resolver clock minus BlockClock, keyed by the
+  // spawning site of the future being touched. The FutTaskId slot still
+  // holds the spawning task's registry index (negative resolve-serial
+  // stamps only appear on resolved futures); validate the slot really
+  // belongs to this future before trusting its site.
+  T.BlockClock = P.Clock;
+  T.BlockSite = ~uint32_t(0);
+  if (Value Ti = Fut->slot(Object::FutTaskId); Ti.isFixnum() &&
+                                               Ti.asFixnum() >= 0) {
+    Task *Creator = E.taskByIndex(static_cast<uint32_t>(Ti.asFixnum()));
+    if (Creator && Creator->ResultFuture.isFuture() &&
+        Creator->ResultFuture.pointee() == Fut)
+      T.BlockSite = Creator->FutureSite;
+  }
 
   Cycles += cost::BlockBase;
   P.charge(Cycles);
@@ -220,6 +237,14 @@ void futureops::resolveFuture(Engine &E, Processor &P, Object *Fut,
       continue;
     Waiter->State = TaskState::Ready;
     Waiter->BlockedOn = Value::nil();
+    // Touch-wait latency: block to resolve, saturating because per-
+    // processor clocks are not totally ordered (the resolver's clock can
+    // trail the blocker's).
+    E.recordTouchWait(P,
+                      Waiter->BlockSite,
+                      P.Clock > Waiter->BlockClock
+                          ? P.Clock - Waiter->BlockClock
+                          : 0);
     // Paper: woken tasks go to the suspended queue of the processor they
     // were running on when they blocked — unless that processor died, in
     // which case the nearest survivor adopts them.
@@ -246,6 +271,11 @@ void futureops::resolveFuture(Engine &E, Processor &P, Object *Fut,
 
 void futureops::taskFinished(Engine &E, Processor &P, Task &T, Value Result) {
   P.charge(cost::TaskFinish);
+  // Task lifetime (create to finish), always on -- the histogram no
+  // longer needs the tracer. Saturating: the finishing processor's clock
+  // can trail the creator's.
+  E.telemetry().record(E.telemetryIds().TaskLifetime, P.Id,
+                       P.Clock > T.CreateClock ? P.Clock - T.CreateClock : 0);
   if (T.ResultFuture.isFuture() &&
       !T.ResultFuture.pointee()->futureResolved())
     resolveFuture(E, P, T.ResultFuture.pointee(), Result);

@@ -43,6 +43,7 @@ sem::POutcome sem::p(Engine &E, Processor &P, Task &T, Object *Sem) {
 
   T.State = TaskState::BlockedSemaphore;
   T.BlockedOn = Value::object(Sem);
+  T.BlockClock = P.Clock; // telemetry stamp, zero virtual cost
   P.charge(Cycles + cost::BlockBase);
   if (E.tracer().enabled())
     E.tracer().record(TraceEventKind::TaskBlock, P.Id, P.Clock, T.Id, 1);
@@ -69,6 +70,12 @@ void sem::v(Engine &E, Processor &P, Object *Sem) {
     Waiter->WakePop = 1;
     Waiter->WakeValue = Value::trueV();
     ++Waiter->SemaphoresHeld; // the V hands the semaphore to this waiter
+    // Semaphore wait latency: P-block to V-wake, saturating (per-proc
+    // clocks are not totally ordered).
+    E.telemetry().record(E.telemetryIds().SemWait, P.Id,
+                         P.Clock > Waiter->BlockClock
+                             ? P.Clock - Waiter->BlockClock
+                             : 0);
     Processor &Home = E.machine().homeFor(Waiter->LastProc);
     P.charge(Home.Queues.pushSuspended(Id, P.Clock) + 4);
     if (E.tracer().enabled())

@@ -43,6 +43,11 @@ void Task::initForThunk(TaskId NewId, GroupId G, Value Closure, Value Result,
   SpawnDynEnv = InheritedDynEnv;
   SemaphoresHeld = 0;
   DidIo = false;
+  BlockClock = 0;
+  BlockSite = ~uint32_t(0);
+  // CreateClock and FutureSite are stamped by the spawn path right after
+  // initForThunk; a recovery re-spawn deliberately keeps the originals
+  // (the re-run is the same logical task).
 }
 
 void Task::clearForRecycle() {
@@ -65,4 +70,8 @@ void Task::clearForRecycle() {
   SemaphoresHeld = 0;
   DidIo = false;
   Recovered = false;
+  CreateClock = 0;
+  BlockClock = 0;
+  BlockSite = ~uint32_t(0);
+  FutureSite = ~uint32_t(0);
 }

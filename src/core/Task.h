@@ -133,6 +133,22 @@ public:
   /// busy cycles are charged to EngineStats::RecoveryCycles.
   bool Recovered = false;
 
+  /// \name Always-on telemetry stamps (src/obs/Telemetry.h)
+  ///
+  /// Written on the hot paths at zero virtual cost; read when the
+  /// matching latency sample completes (task finish, future resolve,
+  /// semaphore V). Per-processor clocks are not totally ordered, so
+  /// consumers subtract with saturation.
+  /// @{
+  uint64_t CreateClock = 0; ///< virtual clock at newTask (lifetime base)
+  uint64_t BlockClock = 0;  ///< virtual clock at the last block
+  /// Future site (Tracer::futureSiteId) of the future this task last
+  /// blocked on; ~0 when unknown (root futures, recycled creators).
+  uint32_t BlockSite = ~uint32_t(0);
+  /// Future site that spawned this task; ~0 for roots and server tasks.
+  uint32_t FutureSite = ~uint32_t(0);
+  /// @}
+
   /// Prepares this (possibly recycled) task to run \p Closure as a fresh
   /// nullary activation.
   void initForThunk(TaskId NewId, GroupId G, Value Closure, Value Result,

@@ -9,15 +9,18 @@
 
 #include "analysis/RaceDetect.h"
 #include "core/Task.h"
+#include "obs/Telemetry.h"
 #include "support/StrUtil.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 using namespace mult;
 
 MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
                                  const Gc::Stats &G, const Tracer &Tr,
-                                 const RaceDetector *RD) {
+                                 const RaceDetector *RD,
+                                 const Telemetry *Telem) {
   MetricsReport R;
   for (unsigned I = 0; I < M.numProcessors(); ++I) {
     const Processor &P = M.processor(I);
@@ -47,6 +50,7 @@ MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
   R.ThresholdLowers = S.ThresholdLowers;
   R.Collections = G.Collections;
   R.GcPauseCycles = G.TotalPauseCycles;
+  R.GcMaxPauseCycles = G.MaxPauseCycles;
   R.FaultsInjected = S.FaultsInjected;
   R.HeapExhaustedStops = S.HeapExhaustedStops;
   R.DeadlocksDetected = S.DeadlocksDetected;
@@ -60,6 +64,48 @@ MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
     R.RacesDetected = RD->raceCount();
     R.AccessesChecked = RD->accessesChecked();
     R.CellsTracked = RD->cellsTracked();
+  }
+
+  if (Telem) {
+    // Task lifetimes from the always-on histogram: same log2 convention
+    // as the trace-derived path, telemetry's extra high buckets fold into
+    // the report's top bucket.
+    Telemetry::Id LifeId = Telem->find("task_lifetime_cycles");
+    if (LifeId != Telemetry::InvalidId) {
+      LatencyHistogram H = Telem->merged(LifeId);
+      for (unsigned B = 0; B < LatencyHistogram::NumBuckets; ++B) {
+        uint64_t N = H.buckets()[B];
+        if (N)
+          R.TaskLifetimeLog2[std::min<size_t>(
+              B, R.TaskLifetimeLog2.size() - 1)] += N;
+      }
+      R.TasksMeasured = H.count();
+    }
+
+    // Latency summaries for every non-empty unlabeled histogram, in
+    // registration order (display names: '_' -> '-', no "_cycles").
+    for (Telemetry::Id I = 0; I < Telem->size(); ++I) {
+      const Telemetry::Metric &MDef = Telem->metric(I);
+      if (MDef.K != Telemetry::Kind::Histogram || !MDef.LabelKey.empty())
+        continue;
+      LatencyHistogram H = Telem->merged(I);
+      if (H.count() == 0)
+        continue;
+      MetricsReport::LatencySummary LS;
+      std::string N = MDef.Name;
+      if (N.size() > 7 && N.compare(N.size() - 7, 7, "_cycles") == 0)
+        N.resize(N.size() - 7);
+      std::replace(N.begin(), N.end(), '_', '-');
+      LS.Name = N;
+      LS.Count = H.count();
+      LS.Mean = static_cast<double>(H.sum()) / static_cast<double>(H.count());
+      LS.P50 = H.percentile(50);
+      LS.P90 = H.percentile(90);
+      LS.P99 = H.percentile(99);
+      LS.Max = H.max();
+      R.Latencies.push_back(std::move(LS));
+    }
+    return R;
   }
 
   // Task lifetimes from the trace: pair each finish with its creation.
@@ -92,35 +138,48 @@ void mult::dumpMetrics(OutStream &OS, const MetricsReport &R) {
   OS << "\n";
   for (const ProcMetrics &P : R.Procs) {
     OS << strFormat(
-        "  %4u %10llu %10llu %10llu %10llu %5llu %6llu/%llu(%.0f%%)  %zu/%zu",
+        "  %4u %10llu %10llu %10llu %10llu %5llu %6llu/%llu",
         P.Id, static_cast<unsigned long long>(P.BusyCycles),
         static_cast<unsigned long long>(P.IdleCycles),
         static_cast<unsigned long long>(P.GcCycles),
         static_cast<unsigned long long>(P.Instructions),
         static_cast<unsigned long long>(P.Dispatches),
         static_cast<unsigned long long>(P.Steals),
-        static_cast<unsigned long long>(P.StealAttempts),
-        P.stealSuccessRate() * 100.0, P.NewQueueHighWater,
-        P.SuspQueueHighWater);
+        static_cast<unsigned long long>(P.StealAttempts));
+    // A processor that never probed has no success rate, not a 0% one.
+    if (P.StealAttempts == 0)
+      OS << "(-)";
+    else
+      OS << strFormat("(%.0f%%)", P.stealSuccessRate() * 100.0);
+    OS << strFormat("  %zu/%zu", P.NewQueueHighWater, P.SuspQueueHighWater);
     if (R.AdaptiveT)
       OS << strFormat("  %u", P.AdaptiveT);
     OS << "\n";
   }
-  OS << strFormat("stealing: %llu of %llu attempts succeeded (%llu failed, "
-                  "%.1f%% success)\n",
-                  static_cast<unsigned long long>(R.Steals),
-                  static_cast<unsigned long long>(R.StealAttempts),
-                  static_cast<unsigned long long>(R.StealsFailed),
-                  R.stealSuccessRate() * 100.0);
+  if (R.StealAttempts == 0)
+    OS << "stealing: no attempts\n";
+  else
+    OS << strFormat("stealing: %llu of %llu attempts succeeded (%llu failed, "
+                    "%.1f%% success)\n",
+                    static_cast<unsigned long long>(R.Steals),
+                    static_cast<unsigned long long>(R.StealAttempts),
+                    static_cast<unsigned long long>(R.StealsFailed),
+                    R.stealSuccessRate() * 100.0);
   if (R.AdaptiveT)
     OS << strFormat("adaptive-T: %llu windows closed, %llu raises, "
                     "%llu lowers\n",
                     static_cast<unsigned long long>(R.AdaptWindows),
                     static_cast<unsigned long long>(R.ThresholdRaises),
                     static_cast<unsigned long long>(R.ThresholdLowers));
-  OS << strFormat("gc: %llu collections, %llu pause cycles\n",
+  OS << strFormat("gc: %llu collections, %llu pause cycles",
                   static_cast<unsigned long long>(R.Collections),
                   static_cast<unsigned long long>(R.GcPauseCycles));
+  if (R.Collections > 0)
+    OS << strFormat(" (max %llu, mean %.1f)",
+                    static_cast<unsigned long long>(R.GcMaxPauseCycles),
+                    static_cast<double>(R.GcPauseCycles) /
+                        static_cast<double>(R.Collections));
+  OS << "\n";
   if (R.FaultsInjected || R.HeapExhaustedStops || R.DeadlocksDetected)
     OS << strFormat("robustness: %llu faults injected, %llu heap-exhausted "
                     "stops, %llu deadlocks detected\n",
@@ -142,8 +201,20 @@ void mult::dumpMetrics(OutStream &OS, const MetricsReport &R) {
                     static_cast<unsigned long long>(R.RacesDetected),
                     static_cast<unsigned long long>(R.AccessesChecked),
                     static_cast<unsigned long long>(R.CellsTracked));
+  if (!R.Latencies.empty()) {
+    OS << "latency (virtual cycles):\n";
+    for (const MetricsReport::LatencySummary &L : R.Latencies)
+      OS << strFormat("  %-18s n=%llu mean=%.1f p50=%llu p90=%llu p99=%llu "
+                      "max=%llu\n",
+                      L.Name.c_str(),
+                      static_cast<unsigned long long>(L.Count), L.Mean,
+                      static_cast<unsigned long long>(L.P50),
+                      static_cast<unsigned long long>(L.P90),
+                      static_cast<unsigned long long>(L.P99),
+                      static_cast<unsigned long long>(L.Max));
+  }
   if (R.TasksMeasured == 0) {
-    OS << "task lifetimes: (enable tracing to measure)\n";
+    OS << "task lifetimes: (no tasks measured)\n";
     return;
   }
   OS << strFormat("task lifetimes (%llu tasks, virtual cycles, log2 "

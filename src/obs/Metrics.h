@@ -27,6 +27,7 @@
 namespace mult {
 
 class RaceDetector;
+class Telemetry;
 
 /// One processor's share of the run.
 struct ProcMetrics {
@@ -77,6 +78,7 @@ struct MetricsReport {
   // GC.
   uint64_t Collections = 0;
   uint64_t GcPauseCycles = 0;
+  uint64_t GcMaxPauseCycles = 0; ///< longest single collection
 
   // Robustness (all zero unless fault injection was armed or the run
   // degraded; the renderer omits the section in that case).
@@ -101,17 +103,36 @@ struct MetricsReport {
   uint64_t CellsTracked = 0;
 
   /// Task lifetimes (create to finish, virtual cycles) in log2 buckets:
-  /// bucket i counts lifetimes in [2^i, 2^(i+1)). Populated only when the
-  /// run was traced; empty (all zero) otherwise.
+  /// bucket i counts lifetimes in [2^i, 2^(i+1)). Filled from the always-on
+  /// telemetry histogram when one is passed to buildMetrics; otherwise
+  /// trace-derived (and empty for untraced runs).
   std::array<uint64_t, 40> TaskLifetimeLog2 = {};
   uint64_t TasksMeasured = 0;
+
+  /// One always-on latency histogram's summary (virtual cycles).
+  struct LatencySummary {
+    std::string Name; ///< display name, e.g. "gc-pause"
+    uint64_t Count = 0;
+    double Mean = 0.0;
+    uint64_t P50 = 0;
+    uint64_t P90 = 0;
+    uint64_t P99 = 0;
+    uint64_t Max = 0;
+  };
+  /// Non-empty unlabeled telemetry histograms, registration order.
+  /// Empty when buildMetrics was not given a Telemetry.
+  std::vector<LatencySummary> Latencies;
 };
 
 /// Builds the report for the last measured run. Pass the engine's race
-/// detector (may be null) to fold determinacy-race counters in.
+/// detector (may be null) to fold determinacy-race counters in. Pass the
+/// engine's telemetry (may be null) to fill the latency summaries and to
+/// source task lifetimes from the always-on histogram instead of the
+/// trace (so lifetimes no longer require tracing).
 MetricsReport buildMetrics(const Machine &M, const EngineStats &S,
                            const Gc::Stats &G, const Tracer &Tr,
-                           const RaceDetector *RD = nullptr);
+                           const RaceDetector *RD = nullptr,
+                           const Telemetry *Telem = nullptr);
 
 /// Renders \p R human-readably (benches, the REPL's :stats command).
 void dumpMetrics(OutStream &OS, const MetricsReport &R);

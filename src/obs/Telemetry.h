@@ -1,0 +1,271 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Always-on latency telemetry: named counters, gauges and log2-bucketed
+/// histograms, recorded per processor and merged exactly at report time.
+///
+/// Two clock domains, never mixed:
+///
+///  * *Virtual-time* metrics (cycles) are recorded on the hot paths with
+///    zero virtual cost -- no recorder ever calls Processor::charge -- so
+///    every virtual cycle count is bit-identical whether anyone looks at
+///    the histograms or not (the same invariant tracing and race
+///    detection already keep).
+///  * *Host-time* phases (std::chrono::steady_clock nanoseconds) measure
+///    what the simulator itself costs: read, compile, run, GC. Host time
+///    is noisy and machine-dependent, so it is reported but never golden-
+///    compared and never feeds back into virtual time.
+///
+/// Recording follows the per-processor statistical-counter idiom: each
+/// virtual processor owns a private shard (plain increments, no sharing),
+/// and readers merge the shards. Merging log2 bucket counts is exact, so
+/// percentiles extracted from the merged histogram are exact counts too
+/// (to bucket resolution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MULT_OBS_TELEMETRY_H
+#define MULT_OBS_TELEMETRY_H
+
+#include "support/OutStream.h"
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mult {
+
+/// Log2-bucketed histogram of non-negative integer samples (virtual
+/// cycles). Bucket 0 counts values in [0, 2); bucket i counts [2^i,
+/// 2^(i+1)); the top bucket saturates (counts everything >= 2^47). The
+/// same convention as the trace-derived task-lifetime histogram.
+class LatencyHistogram {
+public:
+  static constexpr unsigned NumBuckets = 48;
+
+  void record(uint64_t V) {
+    unsigned B = bucketFor(V);
+    ++Buckets[B];
+    ++Count;
+    Sum += V;
+    if (Count == 1 || V < MinV)
+      MinV = V;
+    if (V > MaxV)
+      MaxV = V;
+  }
+
+  /// Exact merge: bucket counts, count and sum add; min/max combine.
+  void merge(const LatencyHistogram &O) {
+    if (O.Count == 0)
+      return;
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      Buckets[I] += O.Buckets[I];
+    if (Count == 0 || O.MinV < MinV)
+      MinV = O.MinV;
+    if (O.MaxV > MaxV)
+      MaxV = O.MaxV;
+    Count += O.Count;
+    Sum += O.Sum;
+  }
+
+  void clear() { *this = LatencyHistogram(); }
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count ? MinV : 0; }
+  uint64_t max() const { return MaxV; }
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0.0;
+  }
+
+  /// The value at percentile \p Pct (0..100) by exact-count rank
+  /// selection: the sample of rank ceil(Count*Pct/100) lands in some
+  /// bucket, and the bucket's inclusive upper edge -- clamped into
+  /// [min, max], which are tracked exactly -- is returned. Resolution is
+  /// therefore the bucket width; max() itself is always exact. 0 when
+  /// empty.
+  uint64_t percentile(unsigned Pct) const {
+    if (Count == 0)
+      return 0;
+    uint64_t Rank = (Count * Pct + 99) / 100;
+    if (Rank < 1)
+      Rank = 1;
+    if (Rank > Count)
+      Rank = Count;
+    uint64_t Seen = 0;
+    for (unsigned B = 0; B < NumBuckets; ++B) {
+      Seen += Buckets[B];
+      if (Seen >= Rank) {
+        uint64_t Hi = bucketHigh(B);
+        if (Hi > MaxV)
+          Hi = MaxV;
+        if (Hi < MinV)
+          Hi = MinV;
+        return Hi;
+      }
+    }
+    return MaxV;
+  }
+
+  static unsigned bucketFor(uint64_t V) {
+    unsigned B = 0;
+    while (B + 1 < NumBuckets && (V >> (B + 1)))
+      ++B;
+    return B;
+  }
+  /// Inclusive lower edge of bucket \p B.
+  static uint64_t bucketLow(unsigned B) {
+    return B == 0 ? 0 : (uint64_t(1) << B);
+  }
+  /// Inclusive upper edge of bucket \p B; ~0 for the saturating top
+  /// bucket.
+  static uint64_t bucketHigh(unsigned B) {
+    return B + 1 >= NumBuckets ? ~uint64_t(0) : (uint64_t(1) << (B + 1)) - 1;
+  }
+
+  const std::array<uint64_t, NumBuckets> &buckets() const { return Buckets; }
+
+private:
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t MinV = 0;
+  uint64_t MaxV = 0;
+};
+
+/// The registry. Metrics are registered once (idempotently, keyed by
+/// (name, label value)) and then addressed by dense integer id, so the
+/// hot paths index a vector -- no string hashing per sample. clear()
+/// zeroes every value but keeps the registrations and ids stable, which
+/// is what Engine::resetStats needs between measured runs.
+class Telemetry {
+public:
+  using Id = uint32_t;
+  static constexpr Id InvalidId = ~Id(0);
+
+  enum class Kind : uint8_t { Counter, Gauge, Histogram };
+
+  /// Host-time phases of the simulator itself (steady_clock ns). Run
+  /// includes the GC phase nested inside it; subtract to isolate the
+  /// mutator.
+  enum class Phase : uint8_t { Read, Compile, Run, Gc };
+  static constexpr unsigned NumPhases = 4;
+  static const char *phaseName(Phase P);
+
+  explicit Telemetry(unsigned NumProcs) : NumShards(NumProcs ? NumProcs : 1) {}
+
+  /// \name Registration (idempotent; returns the existing id on re-use)
+  /// @{
+  /// Names are Prometheus-style snake_case bases (the exporter prefixes
+  /// "mult_"). A labeled histogram is a child series of its base name,
+  /// e.g. histogram("touch_wait_cycles", ..., "site", "fib+3").
+  Id counter(std::string_view Name, std::string_view Help);
+  Id gauge(std::string_view Name, std::string_view Help);
+  Id histogram(std::string_view Name, std::string_view Help,
+               std::string_view LabelKey = {},
+               std::string_view LabelValue = {});
+  Id find(std::string_view Name, std::string_view LabelValue = {}) const;
+  /// @}
+
+  /// \name Recording (hot paths; never charges virtual time)
+  /// @{
+  void add(Id M, unsigned Proc, uint64_t Delta = 1) {
+    Metrics[M].Shards[Proc % NumShards] += Delta;
+  }
+  void set(Id M, double V) { Metrics[M].GaugeValue = V; }
+  void record(Id M, unsigned Proc, uint64_t V) {
+    Metrics[M].Hists[Proc % NumShards].record(V);
+  }
+  void addHostNs(Phase Ph, uint64_t Ns) {
+    HostNs[static_cast<unsigned>(Ph)] += Ns;
+  }
+  /// @}
+
+  /// \name Reading (merges shards; report-time only)
+  /// @{
+  uint64_t counterValue(Id M) const;
+  double gaugeValue(Id M) const { return Metrics[M].GaugeValue; }
+  LatencyHistogram merged(Id M) const;
+  uint64_t hostNs(Phase Ph) const {
+    return HostNs[static_cast<unsigned>(Ph)];
+  }
+  /// @}
+
+  struct Metric {
+    std::string Name;
+    std::string Help;
+    std::string LabelKey;   ///< empty for unlabeled series
+    std::string LabelValue;
+    Kind K = Kind::Counter;
+    std::vector<uint64_t> Shards;     ///< counters, one per processor
+    std::vector<LatencyHistogram> Hists; ///< histograms, one per processor
+    double GaugeValue = 0.0;          ///< gauges (engine-wide)
+  };
+
+  size_t size() const { return Metrics.size(); }
+  const Metric &metric(Id M) const { return Metrics[M]; }
+  unsigned numProcs() const { return NumShards; }
+
+  /// Zeroes all values and host-phase clocks; registrations and ids
+  /// survive (Engine::resetStats).
+  void clear();
+
+private:
+  Id intern(std::string_view Name, std::string_view Help, Kind K,
+            std::string_view LabelKey, std::string_view LabelValue);
+
+  unsigned NumShards;
+  std::vector<Metric> Metrics;
+  std::map<std::pair<std::string, std::string>, Id> ByName;
+  std::array<uint64_t, NumPhases> HostNs{};
+};
+
+/// RAII host-time scope: accumulates the elapsed steady_clock ns of its
+/// lifetime into one phase. Host time only -- never touches any virtual
+/// clock.
+class HostPhaseTimer {
+public:
+  HostPhaseTimer(Telemetry &T, Telemetry::Phase Ph)
+      : T(T), Ph(Ph), Start(std::chrono::steady_clock::now()) {}
+  ~HostPhaseTimer() {
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+    if (Ns > 0)
+      T.addHostNs(Ph, static_cast<uint64_t>(Ns));
+  }
+  HostPhaseTimer(const HostPhaseTimer &) = delete;
+  HostPhaseTimer &operator=(const HostPhaseTimer &) = delete;
+
+private:
+  Telemetry &T;
+  Telemetry::Phase Ph;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// \name Export
+/// @{
+/// One histogram in full (the REPL's `:histo NAME`): merged buckets,
+/// count/sum/min/mean/percentiles. Includes labeled children of \p Name.
+void dumpHistogram(OutStream &OS, const Telemetry &T, std::string_view Name);
+/// Every histogram as a one-line summary (the REPL's bare `:histo`).
+void dumpHistogramIndex(OutStream &OS, const Telemetry &T);
+/// Prometheus text exposition format (counters, gauges, histograms with
+/// cumulative le-buckets, plus mult_host_ns{phase=...} gauges).
+void exportPrometheus(OutStream &OS, const Telemetry &T);
+/// The same content as a single JSON object.
+void exportJson(OutStream &OS, const Telemetry &T);
+/// Parses \p Spec ("prom:PATH" or "json:PATH", the MULT_TELEMETRY
+/// grammar) and writes the export. False (and \p Err set) on a bad spec
+/// or unwritable path.
+bool exportTelemetrySpec(const Telemetry &T, std::string_view Spec,
+                         std::string &Err);
+/// @}
+
+} // namespace mult
+
+#endif // MULT_OBS_TELEMETRY_H

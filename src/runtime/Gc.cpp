@@ -235,6 +235,7 @@ bool Gc::collect(GcClient &Client, std::vector<uint64_t> &ProcClocks) {
     return false;
   ++AllStats.Collections;
   AllStats.TotalPauseCycles += CS.PauseCycles;
+  AllStats.MaxPauseCycles = std::max(AllStats.MaxPauseCycles, CS.PauseCycles);
   AllStats.TotalWorkCycles += CS.WorkCycles;
   AllStats.TotalWordsCopied += CS.WordsCopied;
   AllStats.Last = CS;

@@ -83,6 +83,10 @@ public:
   struct Stats {
     uint64_t Collections = 0;
     uint64_t TotalPauseCycles = 0;
+    /// Longest single collection pause (the metric the latency story
+    /// lives or dies by; the full distribution is in the telemetry
+    /// gc_pause_cycles histogram).
+    uint64_t MaxPauseCycles = 0;
     uint64_t TotalWorkCycles = 0;
     uint64_t TotalWordsCopied = 0;
     CollectionStats Last;

@@ -148,6 +148,10 @@ Processor &Machine::homeFor(unsigned Preferred) {
 }
 
 RunResult Machine::run(Engine &E, Value RootFuture) {
+  // Host wall-clock for the whole run loop (RAII covers every return).
+  // Nested collections also accrue to the Gc phase; subtract Gc from Run
+  // to isolate the mutator. Host time never feeds virtual time.
+  HostPhaseTimer HostRun(E.telemetry(), Telemetry::Phase::Run);
   // Synchronize the processors at the start of the run (they idled while
   // the "user" typed the expression); the skew counts as idle time so
   // busy + idle + GC cycles always tile the clock.

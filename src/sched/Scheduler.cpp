@@ -129,12 +129,13 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
     for (;;) {
       ++S.StealAttempts;
       ++P.StealAttempts;
+      uint64_t Arrival = 0;
       TaskId Id =
           FromNewQueue
               ? Victim.Queues.stealNew(P.Clock + Cycles, Cycles,
-                                       M.stealOrder())
+                                       M.stealOrder(), &Arrival)
               : Victim.Queues.stealSuspended(P.Clock + Cycles, Cycles,
-                                             M.stealOrder());
+                                             M.stealOrder(), &Arrival);
       if (Id == InvalidTask) {
         ++S.StealsFailed;
         ++P.StealsFailed;
@@ -145,6 +146,10 @@ TaskId mult::dispatchNextTask(Engine &E, Machine &M, Processor &P) {
       }
       TaskId Got = Accept(Id, FromNewQueue, /*Stolen=*/true);
       if (Got != InvalidTask) {
+        // Steal latency: enqueue on the victim to stolen dispatch here,
+        // saturating (thief and victim clocks drift independently).
+        E.telemetry().record(E.telemetryIds().StealLatency, P.Id,
+                             P.Clock > Arrival ? P.Clock - Arrival : 0);
         ++Victim.StolenFrom;
         if (Tr.enabled())
           Tr.record(TraceEventKind::StealAttempt, P.Id, P.Clock, Victim.Id,

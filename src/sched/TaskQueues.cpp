@@ -15,7 +15,7 @@ using namespace mult;
 
 uint64_t TaskQueues::pushNew(TaskId T, uint64_t Now) {
   uint64_t C = NewLock.acquire(Now, cost::QueueLockHold);
-  NewQ.push_back(T);
+  NewQ.emplace_back(T, Now);
   NewHighWater = std::max(NewHighWater, NewQ.size());
   ++NewPushes;
   noteDepth();
@@ -30,61 +30,72 @@ uint64_t TaskQueues::pushSuspended(TaskId T, uint64_t Now) {
   return C + 2;
 }
 
-TaskId TaskQueues::popNew(uint64_t Now, uint64_t &Cycles) {
+TaskId TaskQueues::popNew(uint64_t Now, uint64_t &Cycles,
+                          uint64_t *ArrivalOut) {
   if (NewQ.empty()) {
     Cycles += cost::QueueEmptyCheck; // lock-free; see CostModel.h
     return InvalidTask;
   }
   Cycles += NewLock.acquire(Now, cost::QueueLockHold) + 2;
-  TaskId T = NewQ.back();
+  auto [T, Arrived] = NewQ.back();
   NewQ.pop_back();
+  if (ArrivalOut)
+    *ArrivalOut = Arrived;
   return T;
 }
 
-TaskId TaskQueues::popSuspended(uint64_t Now, uint64_t &Cycles) {
+TaskId TaskQueues::popSuspended(uint64_t Now, uint64_t &Cycles,
+                                uint64_t *ArrivalOut) {
   if (SuspQ.empty()) {
     Cycles += cost::QueueEmptyCheck;
     return InvalidTask;
   }
   Cycles += SuspLock.acquire(Now, cost::QueueLockHold) + 2;
-  TaskId T = SuspQ.back().first;
+  auto [T, Arrived] = SuspQ.back();
   SuspQ.pop_back();
+  if (ArrivalOut)
+    *ArrivalOut = Arrived;
   return T;
 }
 
-TaskId TaskQueues::stealNew(uint64_t Now, uint64_t &Cycles, StealOrder Order) {
+TaskId TaskQueues::stealNew(uint64_t Now, uint64_t &Cycles, StealOrder Order,
+                            uint64_t *ArrivalOut) {
   if (NewQ.empty()) {
     Cycles += cost::StealProbe;
     return InvalidTask;
   }
   Cycles += NewLock.acquire(Now, cost::QueueLockHold) + cost::StealBase;
-  TaskId T;
+  std::pair<TaskId, uint64_t> E;
   if (Order == StealOrder::Lifo) {
-    T = NewQ.back();
+    E = NewQ.back();
     NewQ.pop_back();
   } else {
-    T = NewQ.front();
+    E = NewQ.front();
     NewQ.pop_front();
   }
-  return T;
+  if (ArrivalOut)
+    *ArrivalOut = E.second;
+  return E.first;
 }
 
 TaskId TaskQueues::stealSuspended(uint64_t Now, uint64_t &Cycles,
-                                  StealOrder Order) {
+                                  StealOrder Order, uint64_t *ArrivalOut) {
   if (SuspQ.empty()) {
     Cycles += cost::StealProbe;
     return InvalidTask;
   }
   Cycles += SuspLock.acquire(Now, cost::QueueLockHold) + cost::StealBase;
-  TaskId T;
+  std::pair<TaskId, uint64_t> E;
   if (Order == StealOrder::Lifo) {
-    T = SuspQ.back().first;
+    E = SuspQ.back();
     SuspQ.pop_back();
   } else {
-    T = SuspQ.front().first;
+    E = SuspQ.front();
     SuspQ.pop_front();
   }
-  return T;
+  if (ArrivalOut)
+    *ArrivalOut = E.second;
+  return E.first;
 }
 
 std::vector<std::pair<TaskId, uint64_t>> TaskQueues::drainSuspendedArrivals() {

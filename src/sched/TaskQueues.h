@@ -34,18 +34,29 @@ enum class StealOrder : uint8_t { Lifo, Fifo };
 class TaskQueues {
 public:
   /// \name Owner operations (LIFO)
+  ///
+  /// Both queues remember each entry's arrival clock. Arrivals cost no
+  /// virtual time (a pair is pushed instead of a bare id) and feed two
+  /// zero-cost consumers: fail-stop recovery's backlog-vs-wake split
+  /// (drainSuspendedArrivals) and the steal-latency telemetry histogram
+  /// (\p ArrivalOut on the pop/steal operations; null when the caller
+  /// does not care).
   /// @{
   uint64_t pushNew(TaskId T, uint64_t Now);
   uint64_t pushSuspended(TaskId T, uint64_t Now);
   /// Pops the newest entry; InvalidTask when empty.
-  TaskId popNew(uint64_t Now, uint64_t &Cycles);
-  TaskId popSuspended(uint64_t Now, uint64_t &Cycles);
+  TaskId popNew(uint64_t Now, uint64_t &Cycles,
+                uint64_t *ArrivalOut = nullptr);
+  TaskId popSuspended(uint64_t Now, uint64_t &Cycles,
+                      uint64_t *ArrivalOut = nullptr);
   /// @}
 
   /// \name Thief operations
   /// @{
-  TaskId stealNew(uint64_t Now, uint64_t &Cycles, StealOrder Order);
-  TaskId stealSuspended(uint64_t Now, uint64_t &Cycles, StealOrder Order);
+  TaskId stealNew(uint64_t Now, uint64_t &Cycles, StealOrder Order,
+                  uint64_t *ArrivalOut = nullptr);
+  TaskId stealSuspended(uint64_t Now, uint64_t &Cycles, StealOrder Order,
+                        uint64_t *ArrivalOut = nullptr);
   /// @}
 
   /// Empties the suspended queue, oldest first, returning each task with
@@ -94,9 +105,9 @@ private:
       WindowHighWater = D;
   }
 
-  std::deque<TaskId> NewQ;
-  /// (task, arrival clock); the clock feeds recovery's backlog-vs-wake
-  /// split and costs nothing on the scheduling paths.
+  /// Both queues: (task, arrival clock); the clocks cost nothing on the
+  /// scheduling paths (see the owner-operations comment).
+  std::deque<std::pair<TaskId, uint64_t>> NewQ;
   std::deque<std::pair<TaskId, uint64_t>> SuspQ;
   VirtualLock NewLock;
   VirtualLock SuspLock;

@@ -69,6 +69,8 @@ bool Repl::processLine(std::string_view Line) {
       cmdKill(Arg);
     else if (Cmd == "stats")
       cmdStats();
+    else if (Cmd == "histo")
+      cmdHisto(Arg);
     else if (Cmd == "procs")
       cmdProcs();
     else if (Cmd == "races")
@@ -126,7 +128,11 @@ void Repl::cmdHelp() {
          "                   operation returns the value (default #f)\n"
          "  :kill [group]    kill the current (or named) group\n"
          "  :stats           execution statistics and metrics report\n"
-         "                   (task-lifetime histogram needs tracing on)\n"
+         "                   (latency percentiles are always on)\n"
+         "  :histo [NAME]    latency histogram index, or one histogram's\n"
+         "                   full log2 buckets (e.g. :histo touch-wait);\n"
+         "                   MULT_TELEMETRY=prom:PATH|json:PATH exports\n"
+         "                   everything at exit\n"
          "  :procs           per-processor liveness, clocks and queue\n"
          "                   depths (dead = fail-stopped by proc-kill)\n"
          "  :races           determinacy races found so far (needs the\n"
@@ -237,8 +243,16 @@ void Repl::cmdKill(std::string_view Arg) {
 void Repl::cmdStats() {
   dumpStats(Out, E.stats());
   MetricsReport R = buildMetrics(E.machine(), E.stats(), E.gcStats(),
-                                 E.tracer(), E.raceDetector());
+                                 E.tracer(), E.raceDetector(),
+                                 &E.telemetry());
   dumpMetrics(Out, R);
+}
+
+void Repl::cmdHisto(std::string_view Arg) {
+  if (Arg.empty())
+    dumpHistogramIndex(Out, E.telemetry());
+  else
+    dumpHistogram(Out, E.telemetry(), Arg);
 }
 
 void Repl::cmdRaces() {

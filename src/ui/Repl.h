@@ -45,6 +45,7 @@ private:
   void cmdResume(std::string_view Arg);
   void cmdKill(std::string_view Arg);
   void cmdStats();
+  void cmdHisto(std::string_view Arg);
   void cmdProcs();
   void cmdRaces();
   void cmdTrace(std::string_view Arg);

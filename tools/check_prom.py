@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Validator for the Prometheus text exposition files the engine writes.
+
+Checks the format rules that scrapers actually enforce, so a CI run with
+MULT_TELEMETRY=prom:PATH proves the export is ingestible:
+
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and carry the mult_ prefix,
+  * label names match [a-zA-Z_][a-zA-Z0-9_]*; label values are quoted with
+    ", \\ and newline escaped,
+  * every sample family is preceded by exactly one # HELP and one # TYPE
+    line, and the TYPE is counter|gauge|histogram,
+  * sample values parse as numbers,
+  * for each histogram series: the le buckets are cumulative
+    (non-decreasing), an le="+Inf" bucket exists, its value equals the
+    _count sample, and _sum/_count are present.
+
+Usage: tools/check_prom.py FILE [FILE...]   (exit 1 on any violation)
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  -- labels optional; value is the rest of the line.
+SAMPLE_RE = re.compile(r"^([^\s{]+)(\{[^}]*\})?\s+(\S+)\s*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram"}
+
+
+def base_family(name):
+    """Strips the histogram sample suffixes back to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_file(path):
+    errors = []
+
+    def err(lineno, msg):
+        errors.append(f"{path}:{lineno}: {msg}")
+
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [f"{path}: cannot read: {e}"]
+
+    helps = {}   # family -> lineno
+    types = {}   # family -> (type, lineno)
+    # histogram family -> {"buckets": [(le, value)], "sum": v, "count": v}
+    series = {}
+    samples_seen = set()
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                err(lineno, f"malformed comment line: {line!r}")
+                continue
+            kind, family = parts[1], parts[2]
+            if not NAME_RE.match(family):
+                err(lineno, f"bad metric name in # {kind}: {family!r}")
+                continue
+            if kind == "HELP":
+                if family in helps:
+                    err(lineno, f"duplicate # HELP for {family} "
+                                f"(first at line {helps[family]})")
+                helps[family] = lineno
+            else:
+                if family in types:
+                    err(lineno, f"duplicate # TYPE for {family} "
+                                f"(first at line {types[family][1]})")
+                if len(parts) < 4 or parts[3] not in TYPES:
+                    err(lineno, f"# TYPE {family} must be one of "
+                                f"{sorted(TYPES)}, got "
+                                f"{parts[3] if len(parts) > 3 else '(none)'!r}")
+                    continue
+                types[family] = (parts[3], lineno)
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name, labelblock, value = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            err(lineno, f"bad metric name: {name!r}")
+            continue
+        if not name.startswith("mult_"):
+            err(lineno, f"metric {name!r} is missing the mult_ prefix")
+        try:
+            fvalue = float(value)
+        except ValueError:
+            err(lineno, f"sample value of {name} is not a number: {value!r}")
+            continue
+
+        labels = {}
+        if labelblock:
+            inner = labelblock[1:-1]
+            stripped = LABEL_RE.sub("", inner)
+            if stripped.strip(", "):
+                err(lineno, f"malformed label block: {labelblock!r}")
+            for lm in LABEL_RE.finditer(inner):
+                lname, lvalue = lm.group(1), lm.group(2)
+                if not LABEL_NAME_RE.match(lname):
+                    err(lineno, f"bad label name: {lname!r}")
+                if lname in labels:
+                    err(lineno, f"duplicate label {lname!r} on {name}")
+                bad = re.search(r'\\(?![\\"n])', lvalue)
+                if bad:
+                    err(lineno, f"invalid escape in label value: {lvalue!r}")
+                labels[lname] = lvalue
+
+        family = base_family(name)
+        if family not in helps:
+            err(lineno, f"sample of {name} with no preceding # HELP {family}")
+        if family not in types:
+            err(lineno, f"sample of {name} with no preceding # TYPE {family}")
+        ftype = types.get(family, (None, 0))[0]
+        if name != family and ftype != "histogram":
+            # _bucket/_sum/_count on a non-histogram family: the suffix is
+            # then part of the plain metric name, which is fine -- but only
+            # when that full name was declared itself.
+            if name in helps:
+                family, ftype = name, types.get(name, (None, 0))[0]
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in samples_seen:
+            err(lineno, f"duplicate sample {name}{labelblock or ''}")
+        samples_seen.add(key)
+
+        if ftype == "histogram":
+            other = {k: v for k, v in labels.items() if k != "le"}
+            skey = (family, tuple(sorted(other.items())))
+            s = series.setdefault(skey,
+                                  {"buckets": [], "sum": None, "count": None})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    err(lineno, f"histogram bucket of {family} has no le label")
+                else:
+                    s["buckets"].append((lineno, labels["le"], fvalue))
+            elif name.endswith("_sum"):
+                s["sum"] = fvalue
+            elif name.endswith("_count"):
+                s["count"] = fvalue
+            else:
+                err(lineno, f"histogram family {family} has a plain sample "
+                            f"{name}; expected _bucket/_sum/_count")
+
+    for (family, labels), s in sorted(series.items()):
+        where = f"{family}{{{', '.join(f'{k}={v}' for k, v in labels)}}}" \
+            if labels else family
+        if not s["buckets"]:
+            errors.append(f"{path}: histogram {where} has no buckets")
+            continue
+        prev = None
+        inf_value = None
+        for lineno, le, v in s["buckets"]:
+            if le != "+Inf":
+                try:
+                    float(le)
+                except ValueError:
+                    errors.append(f"{path}:{lineno}: bad le value {le!r}")
+                    continue
+            else:
+                inf_value = v
+            if prev is not None and v < prev:
+                errors.append(f"{path}:{lineno}: histogram {where} buckets "
+                              f"are not cumulative ({v} after {prev})")
+            prev = v
+        if inf_value is None:
+            errors.append(f"{path}: histogram {where} has no le=\"+Inf\" "
+                          "bucket")
+        if s["count"] is None:
+            errors.append(f"{path}: histogram {where} has no _count sample")
+        if s["sum"] is None:
+            errors.append(f"{path}: histogram {where} has no _sum sample")
+        if inf_value is not None and s["count"] is not None \
+                and inf_value != s["count"]:
+            errors.append(f"{path}: histogram {where}: le=\"+Inf\" bucket "
+                          f"({inf_value}) != _count ({s['count']})")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    failed = False
+    for path in sys.argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

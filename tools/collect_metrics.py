@@ -6,10 +6,20 @@ machine-readable line per measured engine run:
 
     ;; virtual-cycles: <tag> <cycles>
 
+one latency-histogram summary line per always-on virtual-time histogram
+(tracked as "<tag>@<name>" keys, value = the whole stats string):
+
+    ;; histo: <tag> <name> n=... sum=... p50=... p90=... p99=... max=...
+
 and, when the deterministic fault injector is armed (--faults SPEC), one
 robustness counter line per run:
 
     ;; fault-metrics: <tag> <name> <count>
+
+Every bench also prints one ";; host: <tag> ..." line of host wall-clock
+phase times. Host time is machine-dependent noise: this script skips
+those lines and *fails loudly* if a host key ever shows up in a golden
+file or a collected map -- host time must never be golden-compared.
 
 Virtual cycles are deterministic (the engine simulates its processors in
 virtual time), so any drift between commits is a real semantic or
@@ -54,6 +64,18 @@ BENCHES = [
 
 METRIC_LINE = re.compile(r"^;; virtual-cycles: (\S+) (\d+)\s*$")
 FAULT_LINE = re.compile(r"^;; fault-metrics: (\S+) (\S+) (\d+)\s*$")
+HISTO_LINE = re.compile(r"^;; histo: (\S+) (\S+) (\S.*?)\s*$")
+HOST_LINE = re.compile(r"^;; host: (\S+) ")
+
+
+def assert_no_host_keys(keys, where):
+    """Host wall-clock data is noise; it must never be golden-compared."""
+    leaked = [k for k in keys
+              if k.split("@")[-1] == "host" or "host-" in k or "-ns" in k]
+    if leaked:
+        fail(f"host-time key(s) leaked into {where}: {', '.join(sorted(leaked))}"
+             " -- ';; host:' lines are machine-dependent noise and must never"
+             " be golden-compared")
 
 
 def fail(msg):
@@ -101,9 +123,25 @@ def run_benches(build_dir, faults=None):
             sys.stderr.write(proc.stdout + proc.stderr)
             fail(f"{bench} exited with status {proc.returncode}")
         found = 0
+        saw_host = False
         for line in proc.stdout.splitlines():
             m = METRIC_LINE.match(line)
             if not m:
+                if HOST_LINE.match(line):
+                    # Host wall-clock line: every bench must print one, but
+                    # its values are noise and are deliberately dropped.
+                    saw_host = True
+                    continue
+                h = HISTO_LINE.match(line)
+                if h:
+                    key = f"{h.group(1)}@{h.group(2)}"
+                    value = h.group(3)
+                    if key in cycles and cycles[key] != value:
+                        fail(f"{bench}: histogram '{key}' reported twice "
+                             f"with different values ({cycles[key]!r} vs "
+                             f"{value!r})")
+                    cycles[key] = value
+                    continue
                 f = FAULT_LINE.match(line)
                 if f:
                     if faults is None:
@@ -131,6 +169,10 @@ def run_benches(build_dir, faults=None):
         if not found:
             fail(f"{bench} printed no ';; virtual-cycles:' lines -- "
                  "was it built without MULT_METRICS support?")
+        if not saw_host:
+            fail(f"{bench} printed no ';; host:' line -- every bench must "
+                 "report its host wall-clock phases")
+    assert_no_host_keys(cycles, "the collected metrics map")
     return cycles
 
 
@@ -141,6 +183,7 @@ def check_against_golden(cycles, golden_path):
             golden = json.load(f)["cycles"]
     except (OSError, KeyError, json.JSONDecodeError) as e:
         fail(f"cannot read golden file {golden_path}: {e}")
+    assert_no_host_keys(golden, f"the golden file {golden_path}")
     drifts = 0
     for tag in sorted(set(golden) | set(cycles)):
         want, got = golden.get(tag), cycles.get(tag)
@@ -151,6 +194,16 @@ def check_against_golden(cycles, golden_path):
             print(f"  NEW      {tag}: {got} (not in golden file)")
         elif got is None:
             print(f"  MISSING  {tag}: golden expects {want}")
+        elif isinstance(want, str) or isinstance(got, str):
+            # Histogram summary strings: name the fields that moved, not
+            # just the whole line.
+            wf = dict(p.split("=", 1) for p in str(want).split() if "=" in p)
+            gf = dict(p.split("=", 1) for p in str(got).split() if "=" in p)
+            changed = [f"{k}: {wf.get(k, '?')} -> {gf.get(k, '?')}"
+                       for k in sorted(set(wf) | set(gf))
+                       if wf.get(k) != gf.get(k)]
+            detail = "; ".join(changed) if changed else f"{want!r} -> {got!r}"
+            print(f"  DRIFT    {tag}: {detail}")
         else:
             delta = got - want
             print(f"  DRIFT    {tag}: {want} -> {got} ({delta:+d} cycles, "
@@ -209,9 +262,11 @@ def render(history, fmt, out):
         if len(history) >= 2:
             prev = history[-2]["cycles"].get(tag)
             last = history[-1]["cycles"].get(tag)
-            if prev is not None and last is not None:
+            if isinstance(prev, int) and isinstance(last, int):
                 d = last - prev
                 delta = "0" if d == 0 else f"{d:+d} ({100.0 * d / prev:+.2f}%)"
+            elif prev is not None and last is not None:
+                delta = "same" if prev == last else "changed"
         out.write(f"| {tag} | " + " | ".join(cells) + f" | {delta} |\n")
 
 
