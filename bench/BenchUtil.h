@@ -46,6 +46,13 @@ using namespace mult;
 ///                      MULT_METRICS also set, one machine-parseable
 ///                      ";; fault-metrics: <tag> <name> <n>" line is
 ///                      printed per robustness counter per run.
+///   MULT_CHECKPOINT=N  arm the checkpointed-recovery policy (capture a
+///                      whole task's resumable state every N busy
+///                      cycles; picked up by the Engine itself). Changes
+///                      virtual time, so like MULT_FAULTS it must stay
+///                      off for golden runs; with MULT_METRICS and
+///                      MULT_FAULTS set, checkpoint counters join the
+///                      ";; fault-metrics:" lines
 ///   MULT_ADAPTIVE_T=1  switch every run from the static inlining
 ///                      threshold to the per-processor adaptive
 ///                      controller (sched/Adaptive.h); the static T
@@ -98,7 +105,7 @@ inline void reportRun(Engine &E, const std::string &Tag) {
     FileOutStream &OS = FileOutStream::stdoutStream();
     dumpMetrics(OS, buildMetrics(E.machine(), E.stats(), E.gcStats(),
                                  E.tracer(), E.raceDetector(),
-                                 &E.telemetry()));
+                                 &E.telemetry(), E.config().CheckpointEvery));
     OS.flush();
     // The stable parse target for tools/collect_metrics.py: exact virtual
     // cycle count of the preceding timed run (deterministic per commit).
@@ -147,6 +154,32 @@ inline void reportRun(Engine &E, const std::string &Tag) {
                   static_cast<unsigned long long>(E.stats().TasksOrphaned));
       std::printf(";; fault-metrics: %s recovery-cycles %llu\n", Tag.c_str(),
                   static_cast<unsigned long long>(E.stats().RecoveryCycles));
+      std::printf(";; fault-metrics: %s byzantine-lies %llu\n", Tag.c_str(),
+                  static_cast<unsigned long long>(E.stats().ByzantineLies));
+      std::printf(";; fault-metrics: %s cross-checks %llu\n", Tag.c_str(),
+                  static_cast<unsigned long long>(E.stats().CrossChecks));
+      std::printf(";; fault-metrics: %s byzantine-detected %llu\n",
+                  Tag.c_str(),
+                  static_cast<unsigned long long>(
+                      E.stats().ByzantineDetected));
+      // Checkpoint counters only exist when the policy is armed; keep
+      // faulted-but-uncheckpointed outputs structurally unchanged.
+      if (E.config().CheckpointEvery) {
+        std::printf(";; fault-metrics: %s checkpoints-taken %llu\n",
+                    Tag.c_str(),
+                    static_cast<unsigned long long>(
+                        E.stats().CheckpointsTaken));
+        std::printf(";; fault-metrics: %s checkpoint-cycles %llu\n",
+                    Tag.c_str(),
+                    static_cast<unsigned long long>(
+                        E.stats().CheckpointCycles));
+        std::printf(";; fault-metrics: %s tasks-restored %llu\n", Tag.c_str(),
+                    static_cast<unsigned long long>(E.stats().TasksRestored));
+        std::printf(";; fault-metrics: %s max-task-recovery-cycles %llu\n",
+                    Tag.c_str(),
+                    static_cast<unsigned long long>(
+                        E.stats().MaxTaskRecoveryCycles));
+      }
     }
   }
   if (profileRequested()) {

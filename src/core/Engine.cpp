@@ -91,6 +91,22 @@ Engine::Engine(const EngineConfig &Config)
   if (const char *Env = std::getenv("MULT_RECOVERY"))
     Cfg.Recovery = !(Env[0] == '0' && Env[1] == '\0') &&
                    std::string_view(Env) != "off";
+  if (const char *Env = std::getenv("MULT_CHECKPOINT")) {
+    // A cycle interval; 0 or "off" disarms. Malformed values are ignored.
+    std::string_view EnvS(Env);
+    if (EnvS == "off") {
+      Cfg.CheckpointEvery = 0;
+    } else {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Env, &End, 10);
+      if (End && *End == '\0' && End != Env)
+        Cfg.CheckpointEvery = V;
+      else
+        std::fprintf(stderr, "mult: ignoring MULT_CHECKPOINT: '%s' is not a "
+                             "cycle count\n",
+                     Env);
+    }
+  }
   if (const char *Env = std::getenv("MULT_RACE"))
     Cfg.RaceDetect = !(Env[0] == '0' && Env[1] == '\0') &&
                      std::string_view(Env) != "off";
@@ -413,6 +429,8 @@ TaskId Engine::newTask(GroupId G, Value Closure, Value ResultFuture,
 
 void Engine::finishTask(Task &T) {
   uint32_t Idx = taskIndex(T.Id);
+  if (T.Group != InvalidGroup)
+    group(T.Group).Checkpoints.erase(Idx); // record can never be restored now
   T.clearForRecycle();
   FreeTaskSlots.push_back(Idx);
 }
@@ -471,8 +489,61 @@ bool Engine::collectGarbage() {
         TheTracer.record(TraceEventKind::GcEnd, I, Clocks[I]);
       }
     }
+    // Proc-kills that fired inside the collection (pollGcKill): the
+    // collector already finished the victims' copy work on survivors;
+    // with the heap whole again, perform the machine-level fail-stop and
+    // the usual recovery. The victims' scanned tasks survived the
+    // collection, so restore/re-spawn sees fresh to-space state.
+    if (!PendingGcKills.empty()) {
+      std::vector<PendingGcKill> Kills;
+      Kills.swap(PendingGcKills);
+      for (const PendingGcKill &K : Kills) {
+        Processor &Dead = TheMachine.processor(K.Victim);
+        if (Dead.Dead)
+          continue;
+        Dead.Dead = true;
+        if (Dead.TraceIdling) {
+          Dead.TraceIdling = false;
+          if (TheTracer.enabled())
+            TheTracer.record(TraceEventKind::IdleEnd, Dead.Id, Dead.Clock);
+        }
+        Processor &Obs = TheMachine.homeFor(K.Victim);
+        noteFault(Obs, FaultKind::ProcKill, K.Victim);
+        recoverProcessor(Obs, Dead, TheMachine.runStartClock() + K.Mark);
+      }
+    }
+  } else {
+    PendingGcKills.clear();
   }
   return Ok;
+}
+
+bool Engine::pollGcKill(uint64_t Clock, unsigned &Victim) {
+  // Fault marks are run-relative; a collection triggered outside a run
+  // (allocOrGc from a setup path) has no run clock to poll against.
+  if (!Injector.armed() || !TheMachine.inRun())
+    return false;
+  uint64_t Start = TheMachine.runStartClock();
+  uint64_t Rel = Clock > Start ? Clock - Start : 0;
+  unsigned V;
+  uint64_t Mark;
+  if (!Injector.takeProcKill(Rel, V, Mark))
+    return false;
+  // Mirror the machine's quantum-poll guards: bogus processor ids and
+  // kills that would leave no live processor are consumed as no-ops.
+  if (V >= TheMachine.numProcessors() || TheMachine.processor(V).Dead)
+    return false;
+  unsigned Doomed = 0;
+  for (const PendingGcKill &K : PendingGcKills) {
+    if (K.Victim == V)
+      return false;
+    ++Doomed;
+  }
+  if (TheMachine.liveProcessors() <= Doomed + 1)
+    return false;
+  PendingGcKills.push_back({V, Mark});
+  Victim = V;
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -540,8 +611,19 @@ void Engine::scanRootSegment(unsigned Segment, const RootVisitor &Visit) {
   }
   // Miscellaneous engine roots.
   Visit(RootFuture);
-  for (Group &G : Groups)
+  for (Group &G : Groups) {
     Visit(G.RootFuture);
+    // Checkpoint records must survive collections for as long as a
+    // member task might still be restored from them.
+    for (auto &Entry : G.Checkpoints) {
+      CheckpointRecord &R = Entry.second;
+      for (Value &V : R.Stack)
+        Visit(V);
+      Visit(R.DynEnv);
+      for (Frame &F : R.Frames)
+        Visit(F.SeamFuture);
+    }
+  }
 }
 
 void Engine::scanProcessorRoots(unsigned Proc, const RootVisitor &Visit) {
@@ -785,7 +867,11 @@ void Engine::recoverProcessor(Processor &P, Processor &Dead,
   // (re-running stores the same values), but a held semaphore, a seam
   // split (a thief owns part of the stack) or console output is an
   // observation that re-execution would double (see DESIGN.md).
-  std::vector<Task *> Recover;
+  struct RecoverItem {
+    Task *T;
+    const CheckpointRecord *CP; ///< null = lineage re-spawn from scratch
+  };
+  std::vector<RecoverItem> Recover;
   std::vector<std::pair<Task *, OrphanReason>> Orphans;
   for (TaskId Id : Lost) {
     Task *T = liveTask(Id);
@@ -807,6 +893,21 @@ void Engine::recoverProcessor(Processor &P, Processor &Dead,
         TheTracer.record(TraceEventKind::TaskParked, P.Id, P.Clock, T->Id);
       continue;
     }
+    // Checkpointed recovery: a record whose side-effect epoch still
+    // matches the task's (nothing observable happened since capture)
+    // resumes the task from the snapshot. That trumps spawn-replay (only
+    // the capture-to-kill delta is re-executed) *and* most orphan
+    // reasons: the held semaphores, I/O, or missing lineage the orphan
+    // rules fear date from before the capture, are baked into the
+    // snapshot, and are never re-executed.
+    if (Cfg.Recovery && Cfg.CheckpointEvery) {
+      auto It = G.Checkpoints.find(taskIndex(T->Id));
+      if (It != G.Checkpoints.end() &&
+          It->second.Epoch == T->SideEffectEpoch) {
+        Recover.push_back({T, &It->second});
+        continue;
+      }
+    }
     OrphanReason Why = OrphanReason::Recoverable;
     if (!Cfg.Recovery)
       Why = OrphanReason::Disabled;
@@ -819,7 +920,7 @@ void Engine::recoverProcessor(Processor &P, Processor &Dead,
     else if (T->DidIo)
       Why = OrphanReason::DidIo;
     if (Why == OrphanReason::Recoverable)
-      Recover.push_back(T);
+      Recover.push_back({T, nullptr});
     else
       Orphans.emplace_back(T, Why);
   }
@@ -831,11 +932,47 @@ void Engine::recoverProcessor(Processor &P, Processor &Dead,
   // happened — only the cycles are paid twice.
   unsigned N = TheMachine.numProcessors();
   unsigned Next = Dead.Id;
-  for (Task *T : Recover) {
+  for (const RecoverItem &Item : Recover) {
+    Task *T = Item.T;
     do
       Next = (Next + 1) % N;
     while (TheMachine.processor(Next).Dead);
     Processor &Home = TheMachine.processor(Next);
+    if (Item.CP) {
+      // Resume from the snapshot. Only the busy cycles since the capture
+      // were lost, so the recovery charge is budgeted to that delta —
+      // which the capture policy bounds by CheckpointEvery + one quantum.
+      const CheckpointRecord &R = *Item.CP;
+      uint64_t LostDelta = T->SinceCheckpoint;
+      T->State = TaskState::Ready;
+      T->LastProc = Home.Id;
+      T->Stack = R.Stack;
+      T->Frames = R.Frames;
+      T->CurCode = R.CurCode;
+      T->Pc = R.Pc;
+      T->DynEnv = R.DynEnv;
+      T->BlockedOn = Value::nil();
+      T->HasWakeAction = false;
+      T->WakePop = 0;
+      T->WakeValue = Value::nil();
+      T->StopCondition.clear();
+      T->StopPop = 0;
+      T->StopRestartable = false;
+      T->UnstolenSeams = 0; // capture eligibility guarantees none
+      T->BaseFrame = 0;
+      T->SemaphoresHeld = R.SemaphoresHeld;
+      T->DidIo = R.DidIo;
+      T->SinceCheckpoint = 0;
+      T->RecoveryCharged = 0;
+      T->RecoveryBudget = LostDelta;
+      T->Recovered = LostDelta > 0;
+      Home.Queues.pushNew(T->Id, Home.Clock);
+      ++Stats.TasksRestored;
+      if (TheTracer.enabled())
+        TheTracer.record(TraceEventKind::TaskRestored, P.Id, P.Clock, T->Id,
+                         Home.Id, Dead.Id);
+      continue;
+    }
     T->initForThunk(T->Id, T->Group, T->SpawnClosure, T->ResultFuture,
                     T->SpawnDynEnv, Home.Id);
     T->Recovered = true;
@@ -873,6 +1010,112 @@ void Engine::recoverProcessor(Processor &P, Processor &Dead,
                   "task %u (%s)",
                   Dead.Id, taskIndex(T->Id), orphanReasonName(Why)));
   }
+}
+
+void Engine::maybeCheckpoint(Processor &P, Task &T) {
+  // Capture eligibility: the task must own its whole stack. An unstolen
+  // seam could be stolen *after* the capture (the thief's future would
+  // dangle in the snapshot), and a nonzero BaseFrame means the frames
+  // below already belong to a thief's parent-continuation task.
+  if (T.UnstolenSeams > 0 || T.BaseFrame > 0 || T.Frames.empty())
+    return;
+  if (T.Group == InvalidGroup)
+    return;
+  Group &G = group(T.Group);
+  CheckpointRecord &R = G.Checkpoints[taskIndex(T.Id)];
+  R.Stack = T.Stack;
+  R.Frames = T.Frames;
+  R.CurCode = T.CurCode;
+  R.Pc = T.Pc;
+  R.DynEnv = T.DynEnv;
+  R.SemaphoresHeld = T.SemaphoresHeld;
+  R.DidIo = T.DidIo;
+  R.Epoch = T.SideEffectEpoch;
+  R.CaptureClock = P.Clock;
+  // Snapshot cost: a base plus one cycle per four copied words (a frame
+  // is modelled as four words of resume state).
+  uint64_t CopiedWords =
+      uint64_t(R.Stack.size()) + uint64_t(R.Frames.size()) * 4;
+  uint64_t Cost = cost::CheckpointBase + CopiedWords / 4;
+  P.charge(Cost);
+  ++Stats.CheckpointsTaken;
+  Stats.CheckpointCycles += Cost;
+  ++P.CheckpointsTaken;
+  P.LastCheckpointClock = P.Clock;
+  T.SinceCheckpoint = 0;
+  if (TheTracer.enabled())
+    TheTracer.record(TraceEventKind::CheckpointTaken, P.Id, P.Clock, T.Id,
+                     Cost, R.Epoch);
+}
+
+bool Engine::checkByzantineReturn(Processor &P, Task &T) {
+  bool ChecksArmed = Injector.crossChecksArmed();
+  if (!P.Lying && !ChecksArmed)
+    return false;
+  if (T.Stack.empty())
+    return false;
+  Value &Result = T.Stack.back();
+  // A lie only corrupts fixnum results (a corrupted pointer would crash
+  // the simulator host, not model a wrong answer); the fault stays armed
+  // until a fixnum-returning finish comes along.
+  bool Lie = P.Lying && Result.isFixnum();
+  // The draw is consumed on every armed finishing return, whether or not
+  // a lie is pending, so the cross-check schedule is independent of the
+  // lie schedule (and bit-deterministic under a fixed seed).
+  bool Check = ChecksArmed && Injector.shouldCrossCheck();
+
+  constexpr int64_t kLieXor = 0x2a;
+  if (Lie && !Check) {
+    // Undetected: the corrupted value propagates (and poisons whatever
+    // consumed the future) exactly as a silently faulty processor would.
+    Result = Value::fixnum(Result.asFixnum() ^ kLieXor);
+    P.Lying = false;
+    ++Stats.ByzantineLies;
+    noteFault(P, FaultKind::ProcLie, P.Id);
+    return false;
+  }
+  if (!Check)
+    return false;
+
+  // Cross-check: seed-deterministically re-execute the task on a
+  // different live processor and compare. The checker is charged the
+  // task's full busy history plus a fixed dispatch cost (BusyCyclesTotal
+  // slightly undercounts the final partial quantum; deterministic, and
+  // documented in DESIGN.md).
+  unsigned CheckerId = P.Id;
+  for (unsigned Off = 1; Off < TheMachine.numProcessors(); ++Off) {
+    unsigned C = (P.Id + Off) % TheMachine.numProcessors();
+    if (!TheMachine.processor(C).Dead) {
+      CheckerId = C;
+      break;
+    }
+  }
+  Processor &Checker = TheMachine.processor(CheckerId);
+  ++Stats.CrossChecks;
+  Checker.charge(cost::CrossCheckBase + T.BusyCyclesTotal);
+  if (!Lie)
+    return false;
+
+  // Caught: the lying processor reported the corrupted value, the checker
+  // recomputed the honest one. Stop the group restartably with both
+  // values in the condition; the lie is disarmed, so resume re-runs the
+  // return and resolves the future honestly.
+  int64_t Honest = Result.asFixnum();
+  int64_t Reported = Honest ^ kLieXor;
+  P.Lying = false;
+  ++Stats.ByzantineLies;
+  ++Stats.ByzantineDetected;
+  noteFault(P, FaultKind::ProcLie, P.Id);
+  if (TheTracer.enabled())
+    TheTracer.record(TraceEventKind::ByzantineDetected, P.Id, P.Clock, T.Id,
+                     P.Id, uint64_t(Honest));
+  stopGroupRestartable(
+      P, T,
+      strFormat("byzantine-detected: processor %u returned %lld for task %u; "
+                "cross-check on processor %u recomputed %lld",
+                P.Id, static_cast<long long>(Reported), taskIndex(T.Id),
+                Checker.Id, static_cast<long long>(Honest)));
+  return true;
 }
 
 std::string Engine::describeWaitGraph() {
@@ -1156,6 +1399,8 @@ void Engine::resetStats() {
     P.StolenFrom = 0;
     P.TasksStarted = 0;
     P.HandlerActivations = 0;
+    P.CheckpointsTaken = 0;
+    P.LastCheckpointClock = 0;
     P.TraceIdling = false;
     P.Queues.resetHighWater();
   }

@@ -128,6 +128,14 @@ struct EngineConfig {
   /// its group stops with a `processor-lost` condition. Irrelevant when
   /// no proc-kill clause ever fires.
   bool Recovery = true;
+  /// Checkpointed recovery interval (MULT_CHECKPOINT): when nonzero, a
+  /// task that has executed this many busy cycles since its last capture
+  /// is snapshotted at its next quantum boundary (if it owns its whole
+  /// stack — no live seams), and a proc-kill restores it from the newest
+  /// snapshot instead of re-running it from its spawn. Bounds the
+  /// per-task recovery charge to CheckpointEvery + QuantumCycles.
+  /// 0 = off (PR 5 spawn-replay semantics, bit-identical).
+  uint64_t CheckpointEvery = 0;
   /// Telemetry export spec: "prom:PATH" (Prometheus text exposition) or
   /// "json:PATH", written when the engine is destroyed. Empty falls back
   /// to the MULT_TELEMETRY environment variable; empty both ways means
@@ -402,7 +410,24 @@ public:
   void scanRootSegment(unsigned Segment, const RootVisitor &Visit) override;
   void scanProcessorRoots(unsigned Proc, const RootVisitor &Visit) override;
   void preFlip() override;
+  bool pollGcKill(uint64_t Clock, unsigned &Victim) override;
   /// @}
+
+  /// Captures a checkpoint record of \p T (running on \p P) if it is
+  /// eligible: no live seams and it owns its whole stack. Called by
+  /// Machine::run at quantum boundaries once T's busy cycles since the
+  /// last capture reach Cfg.CheckpointEvery. Charges the capture cost to
+  /// \p P and to EngineStats::CheckpointCycles.
+  void maybeCheckpoint(Processor &P, Task &T);
+
+  /// Byzantine-fault hook for a task-finishing Op::Return: called with
+  /// the result still on top of \p T's stack, before any state changes.
+  /// May corrupt the result in place (a proc-lie firing unobserved), or
+  /// catch the lie via a sampled cross-check re-execution and stop the
+  /// group restartably with a `byzantine-detected` condition. Returns
+  /// true when the group stopped (the caller must not commit the
+  /// return); false to proceed with whatever is now on the stack.
+  bool checkByzantineReturn(Processor &P, Task &T);
 
 private:
   /// Loads the Lisp prelude and installs closure wrappers for primitives
@@ -441,6 +466,16 @@ private:
   EngineStats Stats;
   Tracer TheTracer;
   FaultInjector Injector;
+
+  /// proc-kill faults consumed *inside* a collection (pollGcKill): the
+  /// collector finishes the victim's copy work on survivors first, then
+  /// collectGarbage performs the machine-level fail-stop and recovery
+  /// after the heap is whole again.
+  struct PendingGcKill {
+    unsigned Victim = 0;
+    uint64_t Mark = 0; ///< run-relative doom mark from the plan
+  };
+  std::vector<PendingGcKill> PendingGcKills;
 
   // Always-on latency telemetry. TelemetrySpec is the resolved export
   // destination (config or MULT_TELEMETRY), written by the destructor.

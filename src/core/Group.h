@@ -16,6 +16,7 @@
 
 #include "core/Task.h"
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,11 @@ struct Group {
   /// When Stopped: the task that signalled, and the condition.
   TaskId CurrentTask = InvalidTask;
   std::string Condition;
+  /// Newest checkpoint record per member task (keyed by task index;
+  /// empty unless EngineConfig::CheckpointEvery is armed). Group-owned so
+  /// the records die with the group and are scanned as GC roots while
+  /// any member might still be restored from them.
+  std::map<uint32_t, CheckpointRecord> Checkpoints;
   /// Statistics surfaced in the UI.
   uint64_t TasksCreated = 0;
   /// Created during engine bootstrap (prelude); hidden from the UI.

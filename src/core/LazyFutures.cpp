@@ -112,6 +112,10 @@ lazyfutures::StealResult lazyfutures::trySteal(Engine &E, Processor &P) {
     assert(Victim->UnstolenSeams > 0);
     --Victim->UnstolenSeams;
     Victim->BaseFrame = Ref.FrameIdx;
+    // The steal carved frames out of the victim's stack: a checkpoint
+    // captured before the split no longer matches the task (restoring it
+    // would resurrect frames the parent continuation now owns).
+    ++Victim->SideEffectEpoch;
 
     Cycles += cost::SeamStealBase +
               (Parent.Stack.size() + Parent.Frames.size()) / 4;

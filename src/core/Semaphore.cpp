@@ -70,6 +70,10 @@ void sem::v(Engine &E, Processor &P, Object *Sem) {
     Waiter->WakePop = 1;
     Waiter->WakeValue = Value::trueV();
     ++Waiter->SemaphoresHeld; // the V hands the semaphore to this waiter
+    // The handoff mutates the waiter mid-flight; any checkpoint captured
+    // before it must never be restored (the restore would drop the
+    // acquisition and rewind past the wake action).
+    ++Waiter->SideEffectEpoch;
     // Semaphore wait latency: P-block to V-wake, saturating (per-proc
     // clocks are not totally ordered).
     E.telemetry().record(E.telemetryIds().SemWait, P.Id,

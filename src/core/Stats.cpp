@@ -42,6 +42,14 @@ void dumpStats(OutStream &OS, const EngineStats &S) {
     OS << "recovery: " << S.ProcsKilled << " procs killed, "
        << S.TasksRecovered << " tasks recovered, " << S.TasksOrphaned
        << " orphaned, " << S.RecoveryCycles << " recovery cycles\n";
+  if (S.CheckpointsTaken || S.TasksRestored)
+    OS << "checkpoints: " << S.CheckpointsTaken << " taken ("
+       << S.CheckpointCycles << " cycles), " << S.TasksRestored
+       << " tasks restored, max task recovery " << S.MaxTaskRecoveryCycles
+       << " cycles\n";
+  if (S.ByzantineLies || S.CrossChecks || S.ByzantineDetected)
+    OS << "byzantine: " << S.ByzantineLies << " lies told, " << S.CrossChecks
+       << " cross-checks, " << S.ByzantineDetected << " detected\n";
   OS << strFormat("last run: %llu cycles = %.4f virtual seconds\n",
                   static_cast<unsigned long long>(S.ElapsedCycles),
                   S.elapsedSeconds());

@@ -77,6 +77,20 @@ struct EngineStats {
   uint64_t RecoveryCycles = 0; ///< busy cycles re-executing recovered tasks
   uint64_t WakesRedirected = 0; ///< post-mortem wakes rerouted to survivors
 
+  // Checkpointed recovery (EngineConfig::CheckpointEvery / MULT_CHECKPOINT;
+  // zero unless armed).
+  uint64_t CheckpointsTaken = 0;  ///< checkpoint records captured
+  uint64_t CheckpointCycles = 0;  ///< virtual cycles spent capturing
+  uint64_t TasksRestored = 0;     ///< lost tasks resumed from a checkpoint
+  /// Largest per-task re-execution charge among checkpoint-restored tasks;
+  /// bounded by CheckpointEvery + QuantumCycles by construction.
+  uint64_t MaxTaskRecoveryCycles = 0;
+
+  // Byzantine faults (proc-lie / cross-check clauses; zero unless armed).
+  uint64_t ByzantineLies = 0;     ///< corrupted finishing resolves
+  uint64_t CrossChecks = 0;       ///< sampled re-executions performed
+  uint64_t ByzantineDetected = 0; ///< cross-check mismatches (group stops)
+
   // Execution.
   uint64_t Instructions = 0;   ///< bytecode instructions executed
   uint64_t CyclesExecuted = 0; ///< virtual NS32332 instructions charged

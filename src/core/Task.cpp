@@ -43,6 +43,11 @@ void Task::initForThunk(TaskId NewId, GroupId G, Value Closure, Value Result,
   SpawnDynEnv = InheritedDynEnv;
   SemaphoresHeld = 0;
   DidIo = false;
+  SideEffectEpoch = 0;
+  SinceCheckpoint = 0;
+  BusyCyclesTotal = 0;
+  RecoveryBudget = ~uint64_t(0);
+  RecoveryCharged = 0;
   BlockClock = 0;
   BlockSite = ~uint32_t(0);
   // CreateClock and FutureSite are stamped by the spawn path right after
@@ -70,6 +75,11 @@ void Task::clearForRecycle() {
   SemaphoresHeld = 0;
   DidIo = false;
   Recovered = false;
+  SideEffectEpoch = 0;
+  SinceCheckpoint = 0;
+  BusyCyclesTotal = 0;
+  RecoveryBudget = ~uint64_t(0);
+  RecoveryCharged = 0;
   CreateClock = 0;
   BlockClock = 0;
   BlockSite = ~uint32_t(0);

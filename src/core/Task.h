@@ -129,9 +129,36 @@ public:
   uint32_t SemaphoresHeld = 0; ///< semaphore-p acquisitions not yet V'd
   bool DidIo = false;          ///< wrote to the output stream
 
-  /// True while this task is a lineage re-spawn after a proc-kill; its
-  /// busy cycles are charged to EngineStats::RecoveryCycles.
+  /// True while this task is re-executing lost work after a proc-kill
+  /// (lineage re-spawn or checkpoint restore); its busy cycles are
+  /// charged to EngineStats::RecoveryCycles, up to RecoveryBudget.
   bool Recovered = false;
+
+  /// Side-effect epoch: bumped at every externally observable effect
+  /// (semaphore P-acquire, V-release, V-handoff receipt, console I/O,
+  /// a seam steal from this task's stack). A checkpoint record is
+  /// restorable only while the task's epoch still equals the epoch it
+  /// recorded at capture — restoring across an effect would replay it.
+  uint32_t SideEffectEpoch = 0;
+
+  /// Busy cycles executed since the newest checkpoint capture (or since
+  /// spawn). Drives the CheckpointEvery capture policy and sizes the
+  /// re-execution budget of a restore.
+  uint64_t SinceCheckpoint = 0;
+
+  /// Lifetime busy cycles of this activation; what a byzantine
+  /// cross-check charges its checker for re-executing the task.
+  uint64_t BusyCyclesTotal = 0;
+
+  /// Re-execution budget of a recovered task: busy cycles still
+  /// chargeable to EngineStats::RecoveryCycles before the task is
+  /// considered caught up. ~0 for lineage re-spawns (the whole re-run is
+  /// re-executed work); finite for checkpoint restores (only the
+  /// capture-to-kill delta was lost).
+  uint64_t RecoveryBudget = ~uint64_t(0);
+
+  /// Recovery cycles charged for this task's current recovery episode.
+  uint64_t RecoveryCharged = 0;
 
   /// \name Always-on telemetry stamps (src/obs/Telemetry.h)
   ///
@@ -161,6 +188,24 @@ public:
   Value currentClosure() const { return Stack[Frames.back().Base]; }
 
   bool runnable() const { return State == TaskState::Ready; }
+};
+
+/// A resumable snapshot of a task, captured at a quantum boundary when
+/// the checkpoint policy (EngineConfig::CheckpointEvery) is armed and the
+/// task owns its whole stack (no live seams, BaseFrame == 0). Owned by
+/// the task's group (newest capture only) and scanned as a GC root so
+/// the snapshot's values survive collections. See DESIGN.md,
+/// "Checkpointed recovery".
+struct CheckpointRecord {
+  std::vector<Value> Stack;
+  std::vector<Frame> Frames;
+  const Code *CurCode = nullptr;
+  uint32_t Pc = 0;
+  Value DynEnv = Value::nil();
+  uint32_t SemaphoresHeld = 0; ///< holdings baked into the snapshot
+  bool DidIo = false;
+  uint32_t Epoch = 0;        ///< Task::SideEffectEpoch at capture
+  uint64_t CaptureClock = 0; ///< capturing processor's virtual clock
 };
 
 } // namespace mult

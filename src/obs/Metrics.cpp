@@ -20,7 +20,8 @@ using namespace mult;
 MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
                                  const Gc::Stats &G, const Tracer &Tr,
                                  const RaceDetector *RD,
-                                 const Telemetry *Telem) {
+                                 const Telemetry *Telem,
+                                 uint64_t CheckpointEvery) {
   MetricsReport R;
   for (unsigned I = 0; I < M.numProcessors(); ++I) {
     const Processor &P = M.processor(I);
@@ -59,6 +60,15 @@ MetricsReport mult::buildMetrics(const Machine &M, const EngineStats &S,
   R.TasksOrphaned = S.TasksOrphaned;
   R.RecoveryCycles = S.RecoveryCycles;
   R.WakesRedirected = S.WakesRedirected;
+  R.CheckpointsTaken = S.CheckpointsTaken;
+  R.CheckpointCycles = S.CheckpointCycles;
+  R.TasksRestored = S.TasksRestored;
+  R.MaxTaskRecoveryCycles = S.MaxTaskRecoveryCycles;
+  R.CheckpointEvery = CheckpointEvery;
+  R.QuantumCycles = M.quantum();
+  R.ByzantineLies = S.ByzantineLies;
+  R.CrossChecks = S.CrossChecks;
+  R.ByzantineDetected = S.ByzantineDetected;
   if (RD) {
     R.RaceDetectOn = true;
     R.RacesDetected = RD->raceCount();
@@ -195,6 +205,29 @@ void mult::dumpMetrics(OutStream &OS, const MetricsReport &R) {
                     static_cast<unsigned long long>(R.TasksOrphaned),
                     static_cast<unsigned long long>(R.RecoveryCycles),
                     static_cast<unsigned long long>(R.WakesRedirected));
+  if (R.CheckpointsTaken || R.TasksRestored)
+    OS << strFormat("checkpoints: %llu taken, %llu capture cycles, "
+                    "%llu tasks restored\n",
+                    static_cast<unsigned long long>(R.CheckpointsTaken),
+                    static_cast<unsigned long long>(R.CheckpointCycles),
+                    static_cast<unsigned long long>(R.TasksRestored));
+  if (R.TasksRestored && R.CheckpointEvery) {
+    // The proof line the checkpoint policy promises: no restored task
+    // re-executed more than one capture interval plus one quantum.
+    uint64_t Bound = R.CheckpointEvery + R.QuantumCycles;
+    OS << strFormat("recovery-bound: max task recovery %llu cycles <= "
+                    "checkpoint-every %llu + quantum %llu (%s)\n",
+                    static_cast<unsigned long long>(R.MaxTaskRecoveryCycles),
+                    static_cast<unsigned long long>(R.CheckpointEvery),
+                    static_cast<unsigned long long>(R.QuantumCycles),
+                    R.MaxTaskRecoveryCycles <= Bound ? "OK" : "VIOLATED");
+  }
+  if (R.ByzantineLies || R.CrossChecks || R.ByzantineDetected)
+    OS << strFormat("byzantine: %llu lies told, %llu cross-checks, "
+                    "%llu detected\n",
+                    static_cast<unsigned long long>(R.ByzantineLies),
+                    static_cast<unsigned long long>(R.CrossChecks),
+                    static_cast<unsigned long long>(R.ByzantineDetected));
   if (R.RaceDetectOn)
     OS << strFormat("races: %llu (%llu accesses checked, %llu cells "
                     "tracked)\n",

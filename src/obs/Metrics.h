@@ -94,6 +94,24 @@ struct MetricsReport {
   uint64_t RecoveryCycles = 0;
   uint64_t WakesRedirected = 0;
 
+  // Checkpointed recovery (all zero unless EngineConfig::CheckpointEvery
+  // was armed; the renderer omits the lines in that case).
+  uint64_t CheckpointsTaken = 0;
+  uint64_t CheckpointCycles = 0;
+  uint64_t TasksRestored = 0;
+  uint64_t MaxTaskRecoveryCycles = 0;
+  /// Config echoes for the recovery-bound line: the policy guarantees
+  /// MaxTaskRecoveryCycles <= CheckpointEvery + QuantumCycles per
+  /// restored task (a capture fires at the first quantum boundary past
+  /// CheckpointEvery busy cycles).
+  uint64_t CheckpointEvery = 0;
+  uint64_t QuantumCycles = 0;
+
+  // Byzantine faults (all zero unless a proc-lie clause was armed).
+  uint64_t ByzantineLies = 0;
+  uint64_t CrossChecks = 0;
+  uint64_t ByzantineDetected = 0;
+
   // Determinacy-race detection (EngineConfig::RaceDetect / MULT_RACE).
   // When the detector is off, RaceDetectOn is false and the renderer
   // omits the races line entirely, keeping untraced output bit-identical.
@@ -129,10 +147,13 @@ struct MetricsReport {
 /// engine's telemetry (may be null) to fill the latency summaries and to
 /// source task lifetimes from the always-on histogram instead of the
 /// trace (so lifetimes no longer require tracing).
+/// \p CheckpointEvery is EngineConfig::CheckpointEvery (0 = checkpoints
+/// off), threaded through so the report can render the recovery bound.
 MetricsReport buildMetrics(const Machine &M, const EngineStats &S,
                            const Gc::Stats &G, const Tracer &Tr,
                            const RaceDetector *RD = nullptr,
-                           const Telemetry *Telem = nullptr);
+                           const Telemetry *Telem = nullptr,
+                           uint64_t CheckpointEvery = 0);
 
 /// Renders \p R human-readably (benches, the REPL's :stats command).
 void dumpMetrics(OutStream &OS, const MetricsReport &R);

@@ -296,6 +296,9 @@ const char *mult::traceEventKindName(TraceEventKind K) {
   case TraceEventKind::CellWrite: return "cell-write";
   case TraceEventKind::SemAcquire: return "sem-acquire";
   case TraceEventKind::SemRelease: return "sem-release";
+  case TraceEventKind::CheckpointTaken: return "checkpoint-taken";
+  case TraceEventKind::TaskRestored: return "task-restored";
+  case TraceEventKind::ByzantineDetected: return "byzantine-detected";
   }
   return "unknown";
 }

@@ -120,6 +120,15 @@ enum class TraceEventKind : uint8_t {
                   ///< task id.
   SemRelease,     ///< semaphore-v released the count (or handed it off).
                   ///< A = semaphore cell serial, C = releasing task id.
+  CheckpointTaken,///< A checkpoint record was captured at a quantum
+                  ///< boundary. A = task id, B = capture cost in cycles,
+                  ///< C = the task's side-effect epoch at capture.
+  TaskRestored,   ///< A lost task was resumed from its newest checkpoint
+                  ///< instead of re-spawned. A = task id, B = new home
+                  ///< processor, C = dead processor it was lost from.
+  ByzantineDetected, ///< A cross-check re-execution caught a corrupted
+                  ///< future value. A = task id, B = lying processor,
+                  ///< C = the honest (recomputed) value as a raw fixnum.
 };
 
 /// Human-readable name of \p K ("task-create", "steal-attempt", ...).

@@ -28,6 +28,7 @@ struct ProcGcState {
   std::vector<Object *> CopyStack;  ///< Depth-first scan stack.
   bool ScannedOwnRoots = false;
   bool Finished = false;
+  bool GcDead = false; ///< fail-stopped mid-collection (GcClient::pollGcKill)
   uint64_t WorkCycles = 0;
 };
 
@@ -194,6 +195,45 @@ bool Collection::run(std::vector<uint64_t> &ProcClocks,
     }
     if (!Any)
       break;
+    unsigned Victim = ~0u;
+    if (Client.pollGcKill(Procs[Best].Clock, Victim) &&
+        Victim < Procs.size() && !Procs[Victim].GcDead) {
+      // A proc-kill fault landed inside the collection. The fail-stop is
+      // modelled between the victim's scan and copy phases: its root scan
+      // must still happen (the tasks it was running are recovered after
+      // the collection, so their state has to be evacuated), but its
+      // private copy stack — work it claimed by moving objects — is
+      // completed by a survivor so the heap is never left half-copied.
+      ProcGcState &V = Procs[Victim];
+      V.GcDead = true;
+      if (!V.ScannedOwnRoots) {
+        uint64_t Before = V.WorkCycles;
+        V.ScannedOwnRoots = true;
+        Client.scanProcessorRoots(Victim, [&](Value &Val) {
+          visitRoot(Val, Victim);
+        });
+        V.Clock += V.WorkCycles - Before;
+      }
+      if (!V.CopyStack.empty()) {
+        unsigned Heir = ~0u;
+        for (unsigned Off = 1; Off < Procs.size(); ++Off) {
+          unsigned C = (Victim + Off) % unsigned(Procs.size());
+          if (!Procs[C].GcDead) {
+            Heir = C;
+            break;
+          }
+        }
+        if (Heir != ~0u) {
+          ProcGcState &H = Procs[Heir];
+          H.CopyStack.insert(H.CopyStack.end(), V.CopyStack.begin(),
+                             V.CopyStack.end());
+          H.Finished = false; // revive: it has inherited work now
+          V.CopyStack.clear();
+        }
+      }
+      V.Finished = true;
+      continue;
+    }
     if (!stepProcessor(Best)) {
       // No work right now. Another processor's scanning can't feed this
       // one (copy stacks are private; segments are all claimed), so this

@@ -61,6 +61,19 @@ public:
   /// client may translate weak (non-root) object pointers; after the flip
   /// the from-space contents are gone (debug builds poison them).
   virtual void preFlip() {}
+
+  /// Polled between collection work units, with the virtual clock of the
+  /// processor about to be stepped. Returns true when a proc-kill fault
+  /// fires *inside* this collection: \p Victim dies between its root-scan
+  /// and copy phases. The collector completes the victim's pending scan,
+  /// hands its copy stack to a survivor, and excludes it from further
+  /// collection work; the client performs the machine-level fail-stop
+  /// (and task recovery) after collect() returns. Default: never.
+  virtual bool pollGcKill(uint64_t Clock, unsigned &Victim) {
+    (void)Clock;
+    (void)Victim;
+    return false;
+  }
 };
 
 /// The collector. Stateless between collections except for statistics.

@@ -158,6 +158,15 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
   uint64_t Start = 0;
   for (Processor &P : Procs)
     Start = std::max(Start, P.Clock);
+  // Published so fault marks can be made run-relative outside this loop
+  // (the GC-phase kill poll fires from inside a collection); cleared on
+  // every return path.
+  RunStart = Start;
+  InRun = true;
+  struct InRunGuard {
+    bool &Flag;
+    ~InRunGuard() { Flag = false; }
+  } RunGuard{InRun};
   for (Processor &P : Procs) {
     uint64_t Skew = Start - P.Clock;
     P.Clock = Start;
@@ -245,6 +254,17 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
         }
         continue;
       }
+      // Byzantine fault: arm the processor to corrupt the next future
+      // value it resolves at a task-finishing return. Marks aimed at
+      // dead or bogus processors are consumed with no effect (a lie from
+      // a dead processor reaches nobody).
+      unsigned Liar;
+      uint64_t LieMark;
+      if (E.faults().takeProcLie(P.Clock - Start, Liar, LieMark)) {
+        if (Liar < Procs.size() && !Procs[Liar].Dead)
+          Procs[Liar].Lying = true;
+        continue;
+      }
       // Processor stall window: the board drops off the bus for a while.
       // The skipped cycles are idle time, so the clock still tiles.
       uint64_t StallEndRel;
@@ -268,6 +288,16 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
           R.ElapsedCycles = P.Clock - Start;
           E.stats().ElapsedCycles = R.ElapsedCycles;
           R.Heap = SnapshotHeap();
+          return R;
+        }
+        if (RootStopped()) {
+          // A proc-kill landed inside the forced collection and orphaned
+          // a root-group future.
+          R.Status = RunStatus::GroupStopped;
+          R.StoppedGroup = E.rootGroup();
+          R.Error = E.group(E.rootGroup()).Condition;
+          R.ElapsedCycles = P.Clock - Start;
+          E.stats().ElapsedCycles = R.ElapsedCycles;
           return R;
         }
         continue;
@@ -322,18 +352,36 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
         continue;
       }
 
-      // Re-executed cycles of a lineage re-spawn are tallied separately:
+      // Re-executed cycles of a recovered task are tallied separately:
       // busy cycles a survivor spends redoing work the dead processor
-      // already paid for.
+      // already paid for. A checkpoint-restored task charges only up to
+      // its finite budget (the capture-to-kill delta); a lineage
+      // re-spawn (budget ~0) charges its whole re-run, as before.
       bool ChargeRecovery = T.Recovered;
-      uint64_t BusyBefore = ChargeRecovery ? P.BusyCycles : 0;
+      uint64_t BusyBefore = P.BusyCycles;
       StepOutcome Step = interpretTask(E, P, T, P.Clock + Quantum);
-      if (ChargeRecovery)
-        E.stats().RecoveryCycles += P.BusyCycles - BusyBefore;
+      uint64_t BusyDelta = P.BusyCycles - BusyBefore;
+      T.BusyCyclesTotal += BusyDelta;
+      T.SinceCheckpoint += BusyDelta;
+      if (ChargeRecovery) {
+        uint64_t Charge = std::min(BusyDelta, T.RecoveryBudget);
+        E.stats().RecoveryCycles += Charge;
+        T.RecoveryCharged += Charge;
+        if (T.RecoveryBudget != ~uint64_t(0)) {
+          T.RecoveryBudget -= Charge;
+          E.stats().MaxTaskRecoveryCycles = std::max(
+              E.stats().MaxTaskRecoveryCycles, T.RecoveryCharged);
+          if (T.RecoveryBudget == 0)
+            T.Recovered = false; // caught up with the lost delta
+        }
+      }
       switch (Step) {
       case StepOutcome::TimeSlice:
         FruitlessGcs = 0;
         SameSpotTask = InvalidTask;
+        if (E.config().CheckpointEvery &&
+            T.SinceCheckpoint >= E.config().CheckpointEvery)
+          E.maybeCheckpoint(P, T);
         break;
       case StepOutcome::Blocked:
       case StepOutcome::TaskDone:
@@ -400,6 +448,16 @@ RunResult Machine::run(Engine &E, Value RootFuture) {
           R.ElapsedCycles = P.Clock - Start;
           E.stats().ElapsedCycles = R.ElapsedCycles;
           R.Heap = SnapshotHeap();
+          return R;
+        }
+        if (RootStopped()) {
+          // A proc-kill landed inside the collection and orphaned a
+          // root-group future.
+          R.Status = RunStatus::GroupStopped;
+          R.StoppedGroup = E.rootGroup();
+          R.Error = E.group(E.rootGroup()).Condition;
+          R.ElapsedCycles = P.Clock - Start;
+          E.stats().ElapsedCycles = R.ElapsedCycles;
           return R;
         }
         // A collection that frees (almost) nothing cannot unblock the

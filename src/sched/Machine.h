@@ -64,6 +64,18 @@ struct Processor {
   /// (now frozen) clock.
   bool Dead = false;
 
+  /// Armed by a proc-lie fault: the next finishing future value this
+  /// processor resolves is corrupted (byzantine fault). Cleared once the
+  /// lie is told — or caught by a cross-check, so a resume after a
+  /// byzantine-detected stop resolves honestly.
+  bool Lying = false;
+
+  /// Checkpoint records captured on this processor (zero unless
+  /// EngineConfig::CheckpointEvery is armed; reset by resetStats).
+  uint64_t CheckpointsTaken = 0;
+  /// This processor's clock at its newest capture (0 = none yet).
+  uint64_t LastCheckpointClock = 0;
+
   /// True between the first fruitless dispatch and the next successful
   /// one; lets the run loop emit one idle-begin/idle-end trace pair per
   /// idle interval instead of one per idle tick.
@@ -147,6 +159,17 @@ public:
   /// Processors not fail-stopped by a proc-kill fault.
   unsigned liveProcessors() const;
 
+  /// The quantum this machine steps processors by.
+  uint64_t quantum() const { return Quantum; }
+
+  /// True while run() is executing (fault clocks are run-relative; the
+  /// GC kill poll must not fire from an allocation outside a run).
+  bool inRun() const { return InRun; }
+
+  /// The machine-wide clock run() started from (max processor clock at
+  /// entry); converts absolute clocks to run-relative fault marks.
+  uint64_t runStartClock() const { return RunStart; }
+
   /// \p Preferred if it is alive, else the next live processor in id
   /// order. Wake-ups (future resolve, semaphore V, group resume) route
   /// through this so a task whose home processor died is re-homed instead
@@ -171,6 +194,9 @@ private:
   /// Machine-wide count of closed windows; the deterministic ordinal
   /// fault-plan adapt-* clauses key on.
   uint64_t AdaptWindowOrdinal = 0;
+  /// See inRun()/runStartClock().
+  bool InRun = false;
+  uint64_t RunStart = 0;
 };
 
 } // namespace mult

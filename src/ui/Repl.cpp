@@ -244,7 +244,7 @@ void Repl::cmdStats() {
   dumpStats(Out, E.stats());
   MetricsReport R = buildMetrics(E.machine(), E.stats(), E.gcStats(),
                                  E.tracer(), E.raceDetector(),
-                                 &E.telemetry());
+                                 &E.telemetry(), E.config().CheckpointEvery);
   dumpMetrics(Out, R);
 }
 
@@ -278,16 +278,32 @@ void Repl::cmdRaces() {
 
 void Repl::cmdProcs() {
   const Machine &M = E.machine();
-  Out << "  proc  state       clock  queue(new/susp)  busy/idle/gc\n";
+  // The checkpoint columns appear only when the policy is armed, keeping
+  // the dormant output bit-identical.
+  bool ShowCkpt = E.config().CheckpointEvery != 0;
+  Out << "  proc  state       clock  queue(new/susp)  busy/idle/gc";
+  if (ShowCkpt)
+    Out << "  ckpts@last";
+  Out << "\n";
   for (unsigned I = 0; I < M.numProcessors(); ++I) {
     const Processor &P = M.processor(I);
-    Out << strFormat("  %4u  %-5s %11llu  %zu/%zu  %llu/%llu/%llu\n", P.Id,
+    Out << strFormat("  %4u  %-5s %11llu  %zu/%zu  %llu/%llu/%llu", P.Id,
                      P.Dead ? "dead" : "live",
                      static_cast<unsigned long long>(P.Clock),
                      P.Queues.newCount(), P.Queues.suspendedCount(),
                      static_cast<unsigned long long>(P.BusyCycles),
                      static_cast<unsigned long long>(P.IdleCycles),
                      static_cast<unsigned long long>(P.GcCycles));
+    if (ShowCkpt) {
+      if (P.CheckpointsTaken)
+        Out << strFormat("  %llu@%llu",
+                         static_cast<unsigned long long>(P.CheckpointsTaken),
+                         static_cast<unsigned long long>(
+                             P.LastCheckpointClock));
+      else
+        Out << "  0@-";
+    }
+    Out << "\n";
   }
   const EngineStats &S = E.stats();
   if (S.ProcsKilled)

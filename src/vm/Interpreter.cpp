@@ -318,6 +318,19 @@ StepOutcome mult::interpretTask(Engine &E, Processor &P, Task &T,
     }
 
     case Op::Return: {
+      {
+        // Byzantine-fault hook: a *finishing* return is the moment a
+        // result becomes externally visible (resolves the task's result
+        // future or a stolen seam's future), so it is where a lying
+        // processor corrupts and where the cross-check compares. Runs
+        // before any mutation: a detection stops the group restartably
+        // and this instruction re-executes honestly on resume.
+        Frame &FTop = T.Frames.back();
+        bool Finishing =
+            T.Frames.size() == 1 || (FTop.IsSeam && FTop.SeamStolen);
+        if (Finishing && E.faults().armed() && E.checkByzantineReturn(P, T))
+          return StepOutcome::GroupStopped;
+      }
       Value Result = Stack.back();
       Stack.pop_back();
       Frame &F = T.Frames.back();

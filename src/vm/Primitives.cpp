@@ -186,6 +186,7 @@ PrimResult primDisplay(PrimCtx &C, Value V, bool Machine) {
   // (paper section 2.3); modelled as a virtual lock on the console.
   C.P.charge(C.E.terminalLock().acquire(C.P.Clock, cost::TerminalLockHold));
   C.T.DidIo = true; // console output cannot be replayed by recovery
+  ++C.T.SideEffectEpoch;
   PrintOptions Opts;
   Opts.Machine = Machine;
   printValue(C.E.console(), V, Opts);
@@ -706,6 +707,7 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
   case PrimId::Newline:
     P.charge(E.terminalLock().acquire(P.Clock, cost::TerminalLockHold));
     T.DidIo = true; // console output cannot be replayed by recovery
+    ++T.SideEffectEpoch;
     E.console() << '\n';
     return PrimResult::ok(Value::unspecified());
 
@@ -762,6 +764,7 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
     switch (sem::p(E, P, T, S.asObject())) {
     case sem::POutcome::Acquired:
       ++T.SemaphoresHeld;
+      ++T.SideEffectEpoch; // acquiring is observable: invalidate checkpoints
       return PrimResult::ok(Value::trueV());
     case sem::POutcome::Blocked:
       return PrimResult{PrimResult::Status::BlockedSemaphore,
@@ -780,6 +783,7 @@ PrimResult mult::callPrimitive(PrimId Id, Engine &E, Processor &P, Task &T,
       return PrimResult::error("semaphore-v: not a semaphore");
     if (T.SemaphoresHeld)
       --T.SemaphoresHeld;
+    ++T.SideEffectEpoch; // releasing is observable: invalidate checkpoints
     sem::v(E, P, S.asObject());
     return PrimResult::ok(Value::unspecified());
   }

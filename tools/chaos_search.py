@@ -67,6 +67,13 @@ SEED_PLANS = [
     "spawn-error=2; touch-error=5",
     "proc-kill=1@4000",
     "seam-split-fail=1,3",
+    # Byzantine: processor 1 corrupts a finishing resolve; every resolve
+    # is cross-checked, so the lie is caught deterministically.
+    "proc-lie=1@4000; cross-check=1",
+    # GC-phase kill: the mark lands a few hundred cycles after a forced
+    # collection begins, so the victim dies between its root scan and
+    # copy phases and survivors inherit its copy work.
+    "gc-at=3000; proc-kill=1@3200",
 ]
 
 
@@ -84,6 +91,15 @@ class Mutator:
 
     def __init__(self, rng):
         self.rng = rng
+
+    def gc_phase_kill(self):
+        """A gc-at / proc-kill pair whose kill mark lands inside the
+        collection's rendezvous window, exercising the mid-GC death
+        protocol (victim scanned, survivors inherit its copy work)."""
+        r = self.rng
+        g = r.randint(1000, 20000)
+        return "gc-at=%d; proc-kill=%d@%d" % (g, r.randint(0, 3),
+                                              g + r.randint(150, 400))
 
     def fresh_clause(self):
         r = self.rng
@@ -103,6 +119,10 @@ class Mutator:
             lambda: "adapt-reset=%d" % r.randint(1, 12),
             lambda: "proc-kill=%d@%d" % (r.randint(0, 3),
                                          r.randint(100, 30000)),
+            lambda: "proc-lie=%d@%d" % (r.randint(0, 3),
+                                        r.randint(100, 30000)),
+            lambda: "cross-check=%.2f" % r.uniform(0.0, 1.0),
+            self.gc_phase_kill,
             lambda: "seam-split-fail=%s" % ",".join(
                 str(r.randint(1, 30)) for _ in range(r.randint(1, 3))),
         ])()
@@ -113,7 +133,8 @@ class Mutator:
             return clause
         m = self.rng.choice(nums)
         old = int(m.group())
-        new = max(0 if clause.startswith(("proc-kill", "stall")) else 1,
+        new = max(0 if clause.startswith(("proc-kill", "proc-lie",
+                                          "stall")) else 1,
                   int(old * self.rng.choice([0.5, 0.8, 1.25, 2, 3])) +
                   self.rng.randint(-2, 2))
         return clause[:m.start()] + str(new) + clause[m.end():]
@@ -142,7 +163,7 @@ def coverage_of(outcome_text, stats_text, procs_text):
     keys = set()
     for marker in ("processor-lost", "injected-fault", "deadlock",
                    "heap exhausted", "cycle-budget-exhausted",
-                   "wait cycle", "exception"):
+                   "wait cycle", "exception", "byzantine-detected"):
         if marker in outcome_text:
             keys.add("outcome:" + marker)
     if re.search(r"^mul-t> \d+", outcome_text, re.M):
@@ -157,6 +178,19 @@ def coverage_of(outcome_text, stats_text, procs_text):
         keys.add("recovery:killed=%d" % min(killed, 3))
         keys.add("recovery:recovered=" + ("yes" if recovered else "no"))
         keys.add("recovery:orphaned=" + ("yes" if orphaned else "no"))
+    m = re.search(r"checkpoints: (\d+) taken \(\d+ cycles\), (\d+) tasks"
+                  r" restored", stats_text)
+    if m:
+        taken, restored = (int(g) for g in m.groups())
+        keys.add("checkpoint:taken=" + ("yes" if taken else "no"))
+        keys.add("checkpoint:restored=" + ("yes" if restored else "no"))
+    m = re.search(r"byzantine: (\d+) lies told, (\d+) cross-checks,"
+                  r" (\d+) detected", stats_text)
+    if m:
+        lies, checks, detected = (int(g) for g in m.groups())
+        keys.add("byzantine:lies=" + ("yes" if lies else "no"))
+        keys.add("byzantine:checks=" + ("yes" if checks else "no"))
+        keys.add("byzantine:detected=" + ("yes" if detected else "no"))
     for marker in ("holds a semaphore", "performed I/O", "no spawn lineage",
                    "stack split by a seam steal"):
         if marker in outcome_text:
@@ -171,9 +205,12 @@ def coverage_of(outcome_text, stats_text, procs_text):
 
 def run_point(repl, program, plan, timeout=60):
     script = ":faults %s\n%s\n:stats\n:procs\n:exit\n" % (plan, program)
+    # Arm the checkpoint policy so kill plans exercise restore-from-
+    # checkpoint (and its coverage keys) instead of only spawn-replay.
+    env = dict(os.environ, MULT_CHECKPOINT="2000")
     try:
         p = subprocess.run([repl], input=script, capture_output=True,
-                           text=True, timeout=timeout)
+                           text=True, timeout=timeout, env=env)
     except subprocess.TimeoutExpired:
         return None, "timeout"
     if p.returncode != 0:

@@ -93,25 +93,33 @@ def current_commit():
         return "worktree"
 
 
-def run_benches(build_dir, faults=None):
+def run_benches(build_dir, faults=None, checkpoint=None):
     """Run every bench with MULT_METRICS=1 and return {tag: cycles}.
 
     With faults set, every bench runs under that MULT_FAULTS plan and the
     ";; fault-metrics:" counters join the map as "<tag>#<name>" keys.
+    With checkpoint set, MULT_CHECKPOINT arms the checkpointed-recovery
+    policy for the faulted runs (the recovery-cost sweep recipe in
+    EXPERIMENTS.md).
     """
     env = dict(os.environ, MULT_METRICS="1")
     # Tracing changes nothing about virtual time, but keep runs minimal
     # and independent of the caller's environment. MULT_FAULTS *does*
     # change virtual time, so it is stripped unless --faults asks for it:
     # the default dashboard must measure the unmolested engine.
+    # MULT_CHECKPOINT also changes virtual time (captures are charged),
+    # so it is stripped unless --checkpoint asks for it.
     # MULT_RACE is virtual-time-neutral too (tools/race_check.py relies
     # on that), but it slows the host and its metrics lines are not this
     # dashboard's input, so strip it as well.
     for var in ("MULT_TRACE", "MULT_PROFILE", "MULT_TRACE_MODE",
-                "MULT_TRACE_DIR", "MULT_FAULTS", "MULT_RACE"):
+                "MULT_TRACE_DIR", "MULT_FAULTS", "MULT_CHECKPOINT",
+                "MULT_RACE"):
         env.pop(var, None)
     if faults:
         env["MULT_FAULTS"] = faults
+    if checkpoint:
+        env["MULT_CHECKPOINT"] = str(checkpoint)
     cycles = {}
     for bench in BENCHES:
         exe = os.path.join(build_dir, "bench", bench)
@@ -290,7 +298,16 @@ def main():
                          "collect ';; fault-metrics:' counters as "
                          "'<tag>#<name>' keys (do not --check fault runs "
                          "against the faultless golden file)")
+    ap.add_argument("--checkpoint", metavar="N", type=int, default=None,
+                    help="arm MULT_CHECKPOINT=N for the faulted runs so "
+                         "kills recover from checkpoints; requires --faults "
+                         "(checkpointing changes virtual time and must stay "
+                         "off the golden dashboard)")
     args = ap.parse_args()
+    if args.checkpoint and not args.faults:
+        fail("--checkpoint requires --faults: checkpoint captures are "
+             "charged in virtual time, so an unfaulted checkpointed run "
+             "would drift from the golden file by design")
 
     if args.render:
         render(load_history(args.out_dir), args.render, sys.stdout)
@@ -302,7 +319,10 @@ def main():
     print(f"collecting virtual-time metrics for {commit}")
     if args.faults:
         print(f"  fault plan: {args.faults}")
-    cycles = run_benches(args.build_dir, faults=args.faults)
+    if args.checkpoint:
+        print(f"  checkpoint-every: {args.checkpoint}")
+    cycles = run_benches(args.build_dir, faults=args.faults,
+                         checkpoint=args.checkpoint)
     print(f"  {len(cycles)} metrics collected")
 
     os.makedirs(args.out_dir, exist_ok=True)
